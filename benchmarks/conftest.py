@@ -1,0 +1,30 @@
+"""Shared workloads for the figure/table reproduction benchmarks.
+
+Every benchmark uses the same five evaluation workloads (Table 1's suite,
+with the DSS queries represented by query 2).  The scale and trace length
+are chosen so the full benchmark suite completes in a few minutes on a
+laptop; set ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_INSTRUCTIONS`` to run
+closer to the paper's operating point.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import evaluation_profiles, generate_trace, synthesize_program
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.45"))
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "350000"))
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """{label: (program, trace)} for the five evaluation workloads."""
+    built = {}
+    for label, profile in evaluation_profiles(scale=BENCH_SCALE).items():
+        program = synthesize_program(profile)
+        trace = generate_trace(program, BENCH_INSTRUCTIONS, seed=1, name=profile.name)
+        built[label] = (program, trace)
+    return built

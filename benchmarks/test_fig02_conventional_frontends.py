@@ -1,0 +1,45 @@
+"""Figure 2: performance vs area of conventional instruction-supply designs.
+
+Paper result (normalized to a 1K-entry BTB core without prefetching):
+FDP ~1.05, PhantomBTB+FDP ~1.09, 2LevelBTB+FDP ~1.16, 2LevelBTB+SHIFT ~1.22,
+Ideal ~1.35; the two-level designs pay ~8% extra core area.
+"""
+
+from repro.analysis import frontend_comparison, format_table
+from repro.analysis.experiments import performance_area_frontier
+from repro.core.metrics import geometric_mean
+
+DESIGNS = ("baseline", "fdp", "phantom_fdp", "2level_fdp", "2level_shift", "ideal")
+
+
+def test_fig02_conventional_frontier(workloads, benchmark):
+    def run():
+        per_design = {name: [] for name in DESIGNS}
+        areas = {}
+        for label, (program, trace) in workloads.items():
+            outcomes = frontend_comparison(program, trace, DESIGNS)
+            rows = performance_area_frontier(outcomes)
+            for row in rows:
+                per_design[row["design"]].append(row["relative_performance"])
+                areas[row["design"]] = row["relative_area"]
+        return [
+            {
+                "design": name,
+                "relative_performance": geometric_mean(per_design[name]),
+                "relative_area": areas[name],
+            }
+            for name in DESIGNS
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, ("design", "relative_performance", "relative_area"),
+                       title="Figure 2: conventional frontends (geomean over workloads)"))
+
+    perf = {row["design"]: row["relative_performance"] for row in rows}
+    area = {row["design"]: row["relative_area"] for row in rows}
+    # Shape assertions from the paper.
+    assert perf["ideal"] > perf["2level_shift"] > perf["fdp"] >= perf["baseline"]
+    assert perf["2level_shift"] > perf["phantom_fdp"]
+    assert area["2level_fdp"] > 1.05          # two-level BTB costs ~8% core area
+    assert abs(area["fdp"] - 1.0) < 0.01      # FDP reuses existing metadata

@@ -1,0 +1,28 @@
+"""Figure 9: BTB misses eliminated by PhantomBTB, AirBTB and a 16K BTB.
+
+Paper result: over a 1K-entry conventional BTB, PhantomBTB eliminates ~61% of
+misses, AirBTB (under Confluence) ~93%, and a 16K-entry conventional BTB ~95%.
+"""
+
+from repro.analysis import format_table, miss_coverage_comparison
+
+
+def test_fig09_btb_miss_coverage(workloads, benchmark):
+    def run():
+        rows = []
+        for label, (program, trace) in workloads.items():
+            coverage = miss_coverage_comparison(program, trace)
+            rows.append({"workload": label, **coverage})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    columns = ("workload", "phantombtb", "airbtb", "conventional_16k")
+    print()
+    print(format_table(rows, columns,
+                       title="Figure 9: fraction of 1K-BTB misses eliminated"))
+
+    for row in rows:
+        assert row["airbtb"] > row["phantombtb"]
+        assert row["conventional_16k"] >= row["airbtb"] - 0.1
+    average_16k = sum(row["conventional_16k"] for row in rows) / len(rows)
+    assert average_16k > 0.55

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: build a server workload and compare Confluence to a baseline.
+
+Runs a scaled-down OLTP workload through three frontend design points —
+the 1K-entry-BTB baseline, Confluence, and an ideal frontend — and prints
+speedups, MPKI and per-core area, i.e. a miniature version of the paper's
+headline comparison.
+"""
+
+from repro import build_design, build_workload, get_profile
+from repro.core.metrics import fraction_of_ideal
+
+
+def main() -> None:
+    profile = get_profile("oltp_db2").scaled(0.4)
+    print(f"Synthesizing workload '{profile.name}' "
+          f"(~{profile.approximate_footprint_kb:.0f} KB instruction footprint)...")
+    program, trace = build_workload(profile, instructions=250_000)
+    stats = trace.statistics()
+    print(f"  trace: {stats.instruction_count} instructions, "
+          f"{stats.unique_blocks} unique blocks, "
+          f"{stats.unique_taken_branches} unique taken branches\n")
+
+    results = {}
+    areas = {}
+    for design in ("baseline", "confluence", "ideal"):
+        simulator, area = build_design(design, program)
+        results[design] = simulator.run(trace)
+        areas[design] = area
+
+    base = results["baseline"]
+    ideal_speedup = results["ideal"].speedup_over(base)
+    print(f"{'design':<12} {'speedup':>8} {'BTB MPKI':>9} {'L1-I MPKI':>10} {'area mm^2':>10}")
+    for design, result in results.items():
+        print(f"{design:<12} {result.speedup_over(base):>8.3f} {result.btb_mpki:>9.2f} "
+              f"{result.l1i_mpki:>10.2f} {areas[design].total_mm2:>10.3f}")
+
+    confluence_speedup = results["confluence"].speedup_over(base)
+    print(f"\nConfluence captures "
+          f"{100 * fraction_of_ideal(confluence_speedup, ideal_speedup):.0f}% of the ideal "
+          f"frontend's improvement at "
+          f"{100 * areas['confluence'].fraction_of_core:.1f}% core area overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Scale-out CMP study: shared instruction-supply metadata across cores.
+
+Simulates a few cores of the 16-core CMP running the media-streaming
+workload.  All cores share one SHIFT history (virtualized in the LLC); only
+core 0 records it, the others replay it — the sharing that lets Confluence
+amortize its metadata across the chip.
+"""
+
+from repro import ChipMultiprocessor, get_profile, synthesize_program
+
+
+def main() -> None:
+    profile = get_profile("media_streaming").scaled(0.35)
+    program = synthesize_program(profile)
+    cmp_model = ChipMultiprocessor(program, cores=4, instructions_per_core=120_000)
+
+    print(f"Simulating a {cmp_model.cores}-core slice of the CMP on '{profile.name}'...\n")
+    baseline = cmp_model.run_design("baseline")
+    two_level = cmp_model.run_design("2level_shift")
+    confluence = cmp_model.run_design("confluence")
+
+    print(f"{'design':<16} {'throughput (IPC)':>17} {'speedup':>9} {'BTB MPKI':>9} {'L1-I MPKI':>10}")
+    for result in (baseline, two_level, confluence):
+        print(f"{result.design:<16} {result.ipc:>17.3f} "
+              f"{result.speedup_over(baseline):>9.3f} "
+              f"{result.btb_mpki:>9.2f} {result.l1i_mpki:>10.2f}")
+
+    saved = two_level.area.total_mm2 - confluence.area.total_mm2
+    print(f"\nPer-core area: Confluence {confluence.area.total_mm2:.3f} mm^2 vs "
+          f"2LevelBTB+SHIFT {two_level.area.total_mm2:.3f} mm^2 "
+          f"(saves {saved:.3f} mm^2 per core, {16 * saved:.1f} mm^2 across the chip).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can fall back to a legacy editable install on
+offline machines where PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

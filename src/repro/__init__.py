@@ -1,0 +1,72 @@
+"""repro — reproduction of "Confluence: Unified Instruction Supply for
+Scale-Out Servers" (Kaynak, Grot & Falsafi, MICRO-48, 2015).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.isa` — instruction/branch model, 64 B block model, predecoder.
+* :mod:`repro.workloads` — synthetic scale-out server workloads and traces.
+* :mod:`repro.caches` — L1-I, shared LLC and predictor virtualization.
+* :mod:`repro.branch` — direction predictors, RAS, indirect cache and the
+  BTB designs Confluence is compared against.
+* :mod:`repro.prefetch` — FDP and SHIFT instruction prefetchers.
+* :mod:`repro.core` — the contribution: AirBTB, Confluence, the frontend
+  timing model, design-point factories, the area model and the CMP driver.
+* :mod:`repro.analysis` — experiment harnesses that regenerate every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import build_workload, build_design, get_profile
+
+    program, trace = build_workload(get_profile("oltp_db2").scaled(0.25))
+    confluence, area = build_design("confluence", program)
+    baseline, _ = build_design("baseline", program)
+    speedup = confluence.run(trace).speedup_over(baseline.run(trace))
+"""
+
+from repro.workloads import (
+    WORKLOAD_PROFILES,
+    EVALUATION_WORKLOADS,
+    WorkloadProfile,
+    build_workload,
+    evaluation_profiles,
+    generate_trace,
+    get_profile,
+    synthesize_program,
+)
+from repro.core import (
+    AirBTB,
+    AirBTBConfig,
+    ChipMultiprocessor,
+    Confluence,
+    ConfluenceConfig,
+    DESIGN_POINTS,
+    FrontendConfig,
+    FrontendResult,
+    FrontendSimulator,
+    build_design,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "WORKLOAD_PROFILES",
+    "EVALUATION_WORKLOADS",
+    "WorkloadProfile",
+    "build_workload",
+    "evaluation_profiles",
+    "generate_trace",
+    "get_profile",
+    "synthesize_program",
+    "AirBTB",
+    "AirBTBConfig",
+    "ChipMultiprocessor",
+    "Confluence",
+    "ConfluenceConfig",
+    "DESIGN_POINTS",
+    "FrontendConfig",
+    "FrontendResult",
+    "FrontendSimulator",
+    "build_design",
+]

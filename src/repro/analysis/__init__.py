@@ -1,0 +1,27 @@
+"""Experiment harnesses that regenerate the paper's tables and figures.
+
+Each public function corresponds to one experiment of the evaluation section
+and returns plain Python data (dicts/lists) that the benchmarks print and the
+tests assert on.  See DESIGN.md for the experiment index.
+"""
+
+from repro.analysis.experiments import (
+    airbtb_ablation,
+    airbtb_sensitivity,
+    branch_density_table,
+    btb_capacity_sweep,
+    frontend_comparison,
+    miss_coverage_comparison,
+)
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = [
+    "btb_capacity_sweep",
+    "branch_density_table",
+    "frontend_comparison",
+    "airbtb_ablation",
+    "miss_coverage_comparison",
+    "airbtb_sensitivity",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,286 @@
+"""Experiment implementations, one per table/figure of the evaluation.
+
+Every function takes an already-built workload (program + trace) so callers
+control the scale: the benchmark harness uses full-size workloads, the tests
+use small scaled-down ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.branch.btb_base import BaseBTB
+from repro.branch.btb_conventional import ConventionalBTB
+from repro.branch.btb_phantom import PhantomBTB
+from repro.branch.unit import BranchPredictionUnit
+from repro.caches.l1i import InstructionCache
+from repro.caches.llc import SharedLLC
+from repro.core.airbtb import AirBTB, AirBTBConfig
+from repro.core.area import FrontendAreaReport
+from repro.core.confluence import Confluence
+from repro.core.designs import build_design
+from repro.core.frontend import FrontendConfig, FrontendResult, FrontendSimulator
+from repro.core.metrics import miss_coverage, mpki
+from repro.isa.instruction import block_address
+from repro.workloads.cfg import SyntheticProgram
+from repro.workloads.trace import Trace
+
+#: Default fraction of the trace used to warm structures before measuring.
+DEFAULT_WARMUP_FRACTION = 0.2
+
+
+# --------------------------------------------------------------------------- #
+# BTB-only coverage harness (Figures 1, 8, 9, 10)
+# --------------------------------------------------------------------------- #
+
+def run_btb_coverage(
+    btb: BaseBTB,
+    trace: Trace,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> Tuple[int, int]:
+    """Drive a standalone BTB with the trace's branch stream.
+
+    Returns ``(taken_misses, measured_instructions)`` for the post-warmup
+    portion, following the paper's miss definition (entry for a predicted
+    taken branch absent at lookup time).
+    """
+    records = trace.records
+    boundary = int(len(records) * warmup_fraction)
+    taken_misses = 0
+    instructions = 0
+    for index, record in enumerate(records):
+        measured = index >= boundary
+        if measured:
+            instructions += record.instruction_count
+        if record.branch_pc is None:
+            continue
+        result = btb.lookup(record.branch_pc, taken=record.taken)
+        if measured and record.is_taken_branch and not result.hit:
+            taken_misses += 1
+        btb.update(record.branch_pc, record.kind, record.target, record.taken)
+    return taken_misses, instructions
+
+
+def btb_capacity_sweep(
+    trace: Trace,
+    capacities: Sequence[int] = (1024, 2048, 4096, 8192, 16384, 32768),
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> Dict[int, float]:
+    """Figure 1: BTB MPKI as a function of conventional BTB capacity."""
+    series: Dict[int, float] = {}
+    for capacity in capacities:
+        btb = ConventionalBTB(entries=capacity, victim_entries=0)
+        misses, instructions = run_btb_coverage(btb, trace, warmup_fraction)
+        series[capacity] = mpki(misses, instructions)
+    return series
+
+
+def branch_density_table(program: SyntheticProgram, trace: Trace) -> Dict[str, float]:
+    """Table 2: static and dynamic branch density of demand-fetched blocks.
+
+    Static counts the branch instructions present in each block touched by
+    the trace (what a predecoder sees); dynamic counts the distinct taken
+    branches exercised per block visit episode (what the BTB actually needs).
+    """
+    touched = set()
+    for record in trace.records:
+        touched.update(record.blocks())
+    static_total = 0
+    counted = 0
+    for block_addr in touched:
+        block = program.image.block_at(block_addr)
+        if block is None:
+            continue
+        static_total += block.branch_count
+        counted += 1
+    densities = trace.branch_density()
+    return {
+        "static": static_total / counted if counted else 0.0,
+        "dynamic": densities["dynamic"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Frontend performance/area comparisons (Figures 2, 6, 7)
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class DesignOutcome:
+    """Performance and area of one design point on one workload."""
+
+    design: str
+    result: FrontendResult
+    area: FrontendAreaReport
+
+    @property
+    def speedup_reference(self) -> float:
+        return self.result.ipc
+
+
+def frontend_comparison(
+    program: SyntheticProgram,
+    trace: Trace,
+    designs: Sequence[str],
+    frontend_config: Optional[FrontendConfig] = None,
+) -> Dict[str, DesignOutcome]:
+    """Run a set of design points on one workload (Figures 2, 6 and 7).
+
+    Each design point gets private structures (one core's view); SHIFT-based
+    designs each get their own history warmed by the same trace, which is
+    equivalent to the steady-state shared history of the CMP.
+    """
+    outcomes: Dict[str, DesignOutcome] = {}
+    for name in designs:
+        simulator, area = build_design(name, program, frontend_config=frontend_config)
+        result = simulator.run(trace)
+        outcomes[name] = DesignOutcome(design=name, result=result, area=area)
+    return outcomes
+
+
+def performance_area_frontier(
+    outcomes: Mapping[str, DesignOutcome],
+    baseline: str = "baseline",
+) -> List[Dict[str, float]]:
+    """Normalize a comparison to the baseline design (the Figure 2/6 axes)."""
+    base = outcomes[baseline]
+    rows: List[Dict[str, float]] = []
+    for name, outcome in outcomes.items():
+        rows.append(
+            {
+                "design": name,
+                "relative_performance": outcome.result.speedup_over(base.result),
+                "relative_area": outcome.area.relative_to(base.area),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# AirBTB coverage studies (Figures 8, 9, 10)
+# --------------------------------------------------------------------------- #
+
+def _run_confluence_coverage(
+    program: SyntheticProgram,
+    trace: Trace,
+    airbtb_config: AirBTBConfig,
+    synchronized: bool = True,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> Tuple[int, int]:
+    """Measure AirBTB taken-branch misses inside a Confluence frontend."""
+    llc = SharedLLC()
+    l1i = InstructionCache()
+    from repro.core.confluence import ConfluenceConfig
+
+    confluence = Confluence(
+        image=program.image,
+        l1i=l1i,
+        llc=llc,
+        config=ConfluenceConfig(airbtb=airbtb_config),
+    )
+    confluence.airbtb.synchronized = synchronized
+    simulator = FrontendSimulator(
+        bpu=BranchPredictionUnit(confluence.airbtb),
+        l1i=l1i,
+        llc=llc,
+        prefetcher=confluence.prefetcher,
+        confluence=confluence,
+        design_name="confluence",
+    )
+    result = simulator.run(trace, warmup_fraction=warmup_fraction)
+    return result.btb_taken_misses, result.instructions
+
+
+def airbtb_ablation(
+    program: SyntheticProgram,
+    trace: Trace,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> Dict[str, float]:
+    """Figure 8: cumulative breakdown of AirBTB's miss-coverage benefits.
+
+    Returns the cumulative fraction of the 1K-entry conventional BTB's misses
+    eliminated after enabling, in order: the block-based capacity benefit,
+    eager (spatial-locality) insertion, prefetcher-driven insertion, and full
+    block-based organization (content synchronization with the L1-I).
+    """
+    baseline_btb = ConventionalBTB(entries=1024, victim_entries=64)
+    baseline_misses, instructions = run_btb_coverage(baseline_btb, trace, warmup_fraction)
+
+    config = AirBTBConfig()
+    # Step 1 — Capacity: block-based organization, demand insertion only.
+    capacity_btb = AirBTB(
+        config=AirBTBConfig(insertion_policy="demand"), block_provider=program.image.block_at
+    )
+    capacity_misses, _ = run_btb_coverage(capacity_btb, trace, warmup_fraction)
+
+    # Step 2 — Spatial locality: eager whole-block insertion on a miss.
+    spatial_btb = AirBTB(config=config, block_provider=program.image.block_at)
+    spatial_misses, _ = run_btb_coverage(spatial_btb, trace, warmup_fraction)
+
+    # Step 3 — Prefetching: bundles are installed by the stream prefetcher
+    # ahead of the fetch stream (AirBTB still privately managed, LRU).
+    prefetch_misses, _ = _run_confluence_coverage(
+        program, trace, config, synchronized=False, warmup_fraction=warmup_fraction
+    )
+
+    # Step 4 — Block-based organization: content synchronized with the L1-I.
+    synced_misses, _ = _run_confluence_coverage(
+        program, trace, config, synchronized=True, warmup_fraction=warmup_fraction
+    )
+
+    return {
+        "capacity": miss_coverage(baseline_misses, capacity_misses),
+        "spatial_locality": miss_coverage(baseline_misses, spatial_misses),
+        "prefetching": miss_coverage(baseline_misses, prefetch_misses),
+        "block_based_org": miss_coverage(baseline_misses, synced_misses),
+        "baseline_mpki": mpki(baseline_misses, instructions),
+    }
+
+
+def miss_coverage_comparison(
+    program: SyntheticProgram,
+    trace: Trace,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> Dict[str, float]:
+    """Figure 9: misses eliminated by PhantomBTB, AirBTB and a 16K BTB."""
+    baseline_btb = ConventionalBTB(entries=1024, victim_entries=64)
+    baseline_misses, _ = run_btb_coverage(baseline_btb, trace, warmup_fraction)
+
+    phantom = PhantomBTB()
+    phantom_misses, _ = run_btb_coverage(phantom, trace, warmup_fraction)
+
+    airbtb_misses, _ = _run_confluence_coverage(
+        program, trace, AirBTBConfig(), synchronized=True, warmup_fraction=warmup_fraction
+    )
+
+    big_btb = ConventionalBTB(entries=16 * 1024)
+    big_misses, _ = run_btb_coverage(big_btb, trace, warmup_fraction)
+
+    return {
+        "phantombtb": miss_coverage(baseline_misses, phantom_misses),
+        "airbtb": miss_coverage(baseline_misses, airbtb_misses),
+        "conventional_16k": miss_coverage(baseline_misses, big_misses),
+    }
+
+
+def airbtb_sensitivity(
+    program: SyntheticProgram,
+    trace: Trace,
+    bundle_sizes: Sequence[int] = (3, 4),
+    overflow_sizes: Sequence[int] = (0, 32),
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> Dict[Tuple[int, int], float]:
+    """Figure 10: AirBTB miss coverage vs bundle and overflow buffer sizing."""
+    baseline_btb = ConventionalBTB(entries=1024, victim_entries=64)
+    baseline_misses, _ = run_btb_coverage(baseline_btb, trace, warmup_fraction)
+    results: Dict[Tuple[int, int], float] = {}
+    for branches in bundle_sizes:
+        for overflow in overflow_sizes:
+            config = AirBTBConfig(
+                branch_entries_per_bundle=branches, overflow_entries=overflow
+            )
+            misses, _ = _run_confluence_coverage(
+                program, trace, config, synchronized=True, warmup_fraction=warmup_fraction
+            )
+            results[(branches, overflow)] = miss_coverage(baseline_misses, misses)
+    return results

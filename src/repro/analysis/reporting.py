@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output consistent and readable without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, line in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[object, float], title: str = "", value_format: str = "{:.3f}") -> str:
+    """Render an x->y mapping (one figure series) as aligned text."""
+    lines = [title] if title else []
+    key_width = max(len(str(key)) for key in series) if series else 0
+    for key, value in series.items():
+        lines.append(f"{str(key).ljust(key_width)}  {value_format.format(value)}")
+    return "\n".join(lines)

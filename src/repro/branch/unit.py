@@ -1,0 +1,132 @@
+"""Branch prediction unit: direction predictor + BTB + RAS + indirect cache.
+
+The unit produces one fetch-region prediction per cycle (Table 1).  For a
+trace-driven simulation it is driven with the resolved branch of each fetch
+region: :meth:`predict` produces what the hardware would have predicted and
+:meth:`resolve` trains all components with the actual outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.branch.btb_base import BaseBTB, BTBLookupResult
+from repro.branch.direction import HybridDirectionPredictor
+from repro.branch.indirect import IndirectTargetCache
+from repro.branch.ras import ReturnAddressStack
+from repro.isa.instruction import BranchKind
+from repro.workloads.trace import FetchRecord
+
+
+@dataclass(frozen=True)
+class BranchPrediction:
+    """What the branch prediction unit predicted for one fetch region."""
+
+    btb_result: BTBLookupResult
+    predicted_taken: bool
+    predicted_target: Optional[int]
+    actual_taken: bool
+    actual_target: int
+
+    @property
+    def btb_hit(self) -> bool:
+        return self.btb_result.hit
+
+    @property
+    def direction_correct(self) -> bool:
+        return self.predicted_taken == self.actual_taken
+
+    @property
+    def target_correct(self) -> bool:
+        """Did the unit steer fetch to the right next address?"""
+        if not self.direction_correct:
+            return False
+        if not self.actual_taken:
+            return True
+        return self.predicted_target == self.actual_target
+
+    @property
+    def misfetch(self) -> bool:
+        """A taken branch whose target could not be produced at fetch time."""
+        return self.actual_taken and (not self.btb_hit or not self.target_correct)
+
+
+class BranchPredictionUnit:
+    """Direction predictor, BTB, return address stack and indirect cache."""
+
+    def __init__(
+        self,
+        btb: BaseBTB,
+        direction: Optional[HybridDirectionPredictor] = None,
+        ras: Optional[ReturnAddressStack] = None,
+        indirect: Optional[IndirectTargetCache] = None,
+    ) -> None:
+        self.btb = btb
+        self.direction = direction or HybridDirectionPredictor()
+        self.ras = ras or ReturnAddressStack()
+        self.indirect = indirect or IndirectTargetCache()
+        self.predictions = 0
+        self.misfetches = 0
+        self.direction_mispredictions = 0
+
+    def predict(self, record: FetchRecord) -> BranchPrediction:
+        """Predict the outcome of the fetch region's terminating branch."""
+        self.predictions += 1
+        branch_pc = record.branch_pc
+        if branch_pc is None:
+            result = BTBLookupResult(False, None, 0, "none")
+            return BranchPrediction(result, False, record.next_pc, False, record.next_pc)
+
+        result = self.btb.lookup(branch_pc, taken=record.taken)
+        kind = record.kind
+
+        if kind is BranchKind.CONDITIONAL:
+            predicted_taken = self.direction.predict(branch_pc)
+        else:
+            predicted_taken = True
+
+        predicted_target: Optional[int]
+        if not predicted_taken:
+            predicted_target = record.fallthrough
+        elif kind is BranchKind.RETURN:
+            predicted_target = self.ras.peek()
+        elif kind is not None and kind.is_indirect:
+            predicted_target = self.indirect.predict(branch_pc)
+        else:
+            predicted_target = result.target
+
+        prediction = BranchPrediction(
+            btb_result=result,
+            predicted_taken=predicted_taken,
+            predicted_target=predicted_target,
+            actual_taken=record.taken,
+            actual_target=record.next_pc,
+        )
+        if prediction.misfetch:
+            self.misfetches += 1
+        if not prediction.direction_correct:
+            self.direction_mispredictions += 1
+        return prediction
+
+    def resolve(self, record: FetchRecord) -> None:
+        """Train every component with the resolved branch."""
+        branch_pc = record.branch_pc
+        if branch_pc is None:
+            return
+        kind = record.kind
+        if kind is BranchKind.CONDITIONAL:
+            self.direction.update(branch_pc, record.taken)
+        if kind is not None and kind.is_call:
+            self.ras.push(record.fallthrough)
+        if kind is BranchKind.RETURN:
+            self.ras.pop()
+        if kind is not None and kind.is_indirect and kind is not BranchKind.RETURN:
+            self.indirect.update(branch_pc, record.next_pc)
+        self.btb.update(branch_pc, kind, record.target, record.taken)
+
+    @property
+    def misfetch_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.misfetches / self.predictions

@@ -1,0 +1,70 @@
+"""Memory hierarchy: ties the per-core L1-I to the shared LLC.
+
+The frontend timing model asks one question of the hierarchy: "how many
+cycles until the block containing this fetch address can be delivered?"  The
+answer depends on whether the block hits in the L1-I, is covered by an
+in-flight prefetch, or must be demand-fetched from the LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.caches.l1i import InstructionCache, L1IConfig
+from repro.caches.llc import LLCConfig, SharedLLC
+
+
+@dataclass(frozen=True)
+class HierarchyLatencies:
+    """Latency summary used by the frontend timing model."""
+
+    l1i_hit_cycles: int
+    llc_round_trip_cycles: int
+    memory_cycles: int = 135  # 45 ns at 3 GHz; instruction blocks rarely go here
+
+
+class MemoryHierarchy:
+    """Per-core view of the instruction-side memory hierarchy."""
+
+    def __init__(
+        self,
+        l1i: Optional[InstructionCache] = None,
+        llc: Optional[SharedLLC] = None,
+    ) -> None:
+        # Compare against None: an empty InstructionCache is falsy (len == 0).
+        self.l1i = l1i if l1i is not None else InstructionCache()
+        self.llc = llc if llc is not None else SharedLLC()
+
+    @property
+    def latencies(self) -> HierarchyLatencies:
+        return HierarchyLatencies(
+            l1i_hit_cycles=self.l1i.config.hit_latency_cycles,
+            llc_round_trip_cycles=self.llc.round_trip_latency_cycles,
+        )
+
+    def demand_fetch(self, address: int) -> int:
+        """Demand-fetch the block containing ``address``.
+
+        Returns the fetch latency in cycles and installs the block in the
+        L1-I on a miss (notifying fill listeners such as Confluence).
+        """
+        if self.l1i.access(address):
+            return self.l1i.config.hit_latency_cycles
+        latency = self.llc.fetch_instruction_block(address)
+        self.l1i.fill(address, demand=True)
+        return self.l1i.config.hit_latency_cycles + latency
+
+    def prefetch(self, address: int) -> int:
+        """Prefetch the block containing ``address`` into the L1-I.
+
+        Returns the LLC latency the prefetch will take (0 if already
+        resident).  The block is installed immediately; callers that model
+        prefetch timeliness should delay *use* of the block by the returned
+        latency rather than delaying the install.
+        """
+        if self.l1i.contains(address):
+            return 0
+        latency = self.llc.fetch_instruction_block(address)
+        self.l1i.fill(address, demand=False)
+        return latency

@@ -1,0 +1,135 @@
+"""L1 instruction cache model.
+
+The paper's configuration (Table 1) is a 32 KB, 4-way set-associative cache
+with 64 B blocks and a 2-cycle load-to-use latency.  The cache exposes a fill
+listener interface: Confluence registers a listener so that every block
+brought into the L1-I (demand or prefetch) is also predecoded and inserted
+into AirBTB, and every eviction removes the corresponding AirBTB bundle —
+that content synchronization is the heart of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol
+
+from repro.caches.sram import SetAssociativeCache
+from repro.isa.instruction import BLOCK_SIZE_BYTES, block_address
+
+
+@dataclass(frozen=True)
+class L1IConfig:
+    """Geometry and latency of the L1 instruction cache."""
+
+    size_bytes: int = 32 * 1024
+    associativity: int = 4
+    block_bytes: int = BLOCK_SIZE_BYTES
+    hit_latency_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.block_bytes):
+            raise ValueError("cache size must be a multiple of way size")
+
+    @property
+    def block_count(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def sets(self) -> int:
+        return self.block_count // self.associativity
+
+
+class FillListener(Protocol):
+    """Observer notified when L1-I content changes (used by Confluence)."""
+
+    def on_block_fill(self, block_addr: int, demand: bool) -> None:
+        """Called after ``block_addr`` is installed in the L1-I."""
+
+    def on_block_evict(self, block_addr: int) -> None:
+        """Called after ``block_addr`` is evicted from the L1-I."""
+
+
+class InstructionCache:
+    """Presence-only L1-I model with fill/evict listeners.
+
+    Lookups and fills are keyed by any address within a block; the cache
+    normalizes to the 64 B block address.
+    """
+
+    def __init__(self, config: Optional[L1IConfig] = None, name: str = "l1i") -> None:
+        self.config = config or L1IConfig()
+        self._listeners: List[FillListener] = []
+        self._cache = SetAssociativeCache(
+            sets=self.config.sets,
+            ways=self.config.associativity,
+            on_eviction=self._notify_eviction,
+            name=name,
+            index_shift=self.config.block_bytes.bit_length() - 1,
+        )
+        self.demand_fills = 0
+        self.prefetch_fills = 0
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def add_listener(self, listener: FillListener) -> None:
+        self._listeners.append(listener)
+
+    def _notify_eviction(self, block_addr: int, _payload: object = None) -> None:
+        for listener in self._listeners:
+            listener.on_block_evict(block_addr)
+
+    def contains(self, address: int) -> bool:
+        """Presence check (no LRU update, no statistics)."""
+        return self._cache.contains(block_address(address))
+
+    def access(self, address: int) -> bool:
+        """Demand access to the block containing ``address``.
+
+        Returns True on a hit.  A miss does not implicitly fill the cache;
+        the caller decides when the block arrives (see :meth:`fill`), which
+        lets the frontend model fill latency and prefetch timeliness.
+        """
+        hit, _ = self._cache.access(block_address(address))
+        return hit
+
+    def fill(self, address: int, demand: bool = True) -> Optional[int]:
+        """Install the block containing ``address``; returns evicted block.
+
+        Fill listeners observe both the insertion and any eviction it causes,
+        keeping structures that mirror L1-I content (AirBTB) synchronized.
+        """
+        block = block_address(address)
+        if self._cache.contains(block):
+            self._cache.touch(block)
+            return None
+        evicted = self._cache.insert(block)
+        if demand:
+            self.demand_fills += 1
+        else:
+            self.prefetch_fills += 1
+        for listener in self._listeners:
+            listener.on_block_fill(block, demand)
+        return evicted
+
+    def touch(self, address: int) -> bool:
+        """Refresh the LRU position of a resident block."""
+        return self._cache.touch(block_address(address))
+
+    def invalidate(self, address: int) -> bool:
+        block = block_address(address)
+        present = self._cache.invalidate(block)
+        if present:
+            self._notify_eviction(block)
+        return present
+
+    def resident_blocks(self) -> List[int]:
+        return sorted(self._cache.keys())
+
+    @property
+    def block_capacity(self) -> int:
+        return self.config.block_count
+
+    def __len__(self) -> int:
+        return self._cache.occupancy()

@@ -1,0 +1,143 @@
+"""Chip multiprocessor driver: many cores, one workload, shared metadata.
+
+The paper evaluates a 16-core tiled CMP in which every core runs the same
+server workload; SHIFT's history (and PhantomBTB's virtual table) are shared
+by all cores and virtualized in the LLC.  This driver reproduces that setup
+for trace-driven simulation:
+
+* one :class:`~repro.workloads.cfg.SyntheticProgram` is shared by all cores,
+* each core gets its own trace (same request mix, different seed), its own
+  L1-I, BTB and branch predictors,
+* the SHIFT history instance is shared; core 0 records it, all cores replay
+  it, exactly as in the paper, and
+* cores are simulated one after another (their only interaction is through
+  the shared metadata, which is insensitive to fine-grain interleaving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.caches.llc import LLCConfig, SharedLLC
+from repro.core.area import FrontendAreaReport
+from repro.core.designs import DESIGN_POINTS, build_design
+from repro.core.frontend import FrontendConfig, FrontendResult
+from repro.core.metrics import arithmetic_mean, geometric_mean
+from repro.prefetch.shift import ShiftHistory
+from repro.workloads.cfg import SyntheticProgram
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass
+class CMPResult:
+    """Aggregate result of one design point on one workload."""
+
+    design: str
+    workload: str
+    core_results: List[FrontendResult] = field(default_factory=list)
+    area: Optional[FrontendAreaReport] = None
+
+    @property
+    def instructions(self) -> int:
+        return sum(result.instructions for result in self.core_results)
+
+    @property
+    def cycles(self) -> float:
+        return sum(result.cycles for result in self.core_results)
+
+    @property
+    def ipc(self) -> float:
+        """System throughput proxy: aggregate instructions over aggregate cycles."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def btb_taken_misses(self) -> int:
+        return sum(result.btb_taken_misses for result in self.core_results)
+
+    @property
+    def btb_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.btb_taken_misses / self.instructions
+
+    @property
+    def l1i_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        misses = sum(result.l1i_misses for result in self.core_results)
+        return 1000.0 * misses / self.instructions
+
+    def speedup_over(self, baseline: "CMPResult") -> float:
+        if self.ipc == 0 or baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+class ChipMultiprocessor:
+    """Simulates ``cores`` instances of a workload under one design point."""
+
+    def __init__(
+        self,
+        program: SyntheticProgram,
+        cores: int = 16,
+        instructions_per_core: Optional[int] = None,
+        frontend_config: Optional[FrontendConfig] = None,
+        trace_seed_base: int = 100,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError("a CMP needs at least one core")
+        self.program = program
+        self.profile: WorkloadProfile = program.profile
+        self.cores = cores
+        self.instructions_per_core = (
+            instructions_per_core or self.profile.recommended_trace_instructions
+        )
+        self.frontend_config = frontend_config
+        self.trace_seed_base = trace_seed_base
+        self._traces = None
+
+    def _core_traces(self):
+        if self._traces is None:
+            self._traces = [
+                generate_trace(
+                    self.program,
+                    self.instructions_per_core,
+                    seed=self.trace_seed_base + core,
+                    name=f"{self.profile.name}/core{core}",
+                )
+                for core in range(self.cores)
+            ]
+        return self._traces
+
+    def run_design(self, design_name: str) -> CMPResult:
+        """Run every core under ``design_name`` with shared SHIFT history."""
+        if design_name not in DESIGN_POINTS:
+            known = ", ".join(sorted(DESIGN_POINTS))
+            raise KeyError(f"unknown design point {design_name!r}; known: {known}")
+        # The LLC is always the full chip's (16 slices): simulating fewer cores
+        # samples the chip, it does not shrink the shared cache the virtualized
+        # predictor metadata lives in.
+        llc = SharedLLC(LLCConfig(cores=max(self.cores, LLCConfig().cores)))
+        shared_history = ShiftHistory(llc=llc)
+        result = CMPResult(design=design_name, workload=self.profile.name)
+        for core, trace in enumerate(self._core_traces()):
+            simulator, area = build_design(
+                design_name,
+                self.program,
+                llc=llc,
+                shared_history=shared_history,
+                frontend_config=self.frontend_config,
+                # Core 0 generates the shared history; the others consume it.
+                record_history=(core == 0),
+            )
+            result.core_results.append(simulator.run(trace))
+            if core == 0:
+                result.area = area
+        return result
+
+    def run_designs(self, design_names) -> Dict[str, CMPResult]:
+        return {name: self.run_design(name) for name in design_names}

@@ -1,0 +1,109 @@
+"""Confluence: unified instruction supply (Section 3).
+
+Confluence ties three pieces together:
+
+1. the SHIFT stream prefetcher, which runs ahead of the core's fetch stream
+   and decides which instruction blocks to bring into the L1-I,
+2. a hardware predecoder, which scans each arriving block for branches, and
+3. AirBTB, which receives the predecoded branch entries of every block the
+   L1-I receives and drops them when the block is evicted.
+
+The result is a single set of control-flow metadata — SHIFT's block-grain
+history, shared by all cores and virtualized in the LLC — that fills both the
+L1-I and the BTB ahead of the fetch stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.caches.l1i import InstructionCache
+from repro.caches.llc import SharedLLC
+from repro.core.airbtb import AirBTB, AirBTBConfig
+from repro.isa.block import ProgramImage
+from repro.isa.predecode import Predecoder
+from repro.prefetch.shift import ShiftConfig, ShiftHistory, ShiftPrefetcher
+
+
+@dataclass(frozen=True)
+class ConfluenceConfig:
+    """Configuration of a Confluence frontend instance."""
+
+    airbtb: AirBTBConfig = AirBTBConfig()
+    shift: ShiftConfig = ShiftConfig()
+    predecode_latency_cycles: int = 2
+
+
+class Confluence:
+    """Wires the L1-I, AirBTB, predecoder and SHIFT into one frontend.
+
+    The instance registers itself as a fill listener on the L1-I: every block
+    installed there (by SHIFT or on demand) is predecoded and mirrored into
+    AirBTB; every eviction removes the corresponding bundle.
+    """
+
+    def __init__(
+        self,
+        image: ProgramImage,
+        l1i: InstructionCache,
+        shared_history: Optional[ShiftHistory] = None,
+        llc: Optional[SharedLLC] = None,
+        config: Optional[ConfluenceConfig] = None,
+        record_history: bool = True,
+    ) -> None:
+        self.config = config or ConfluenceConfig()
+        self.image = image
+        self.l1i = l1i
+        self.predecoder = Predecoder(latency_cycles=self.config.predecode_latency_cycles)
+        self.airbtb = AirBTB(
+            config=self.config.airbtb,
+            block_provider=image.block_at,
+            predecoder=self.predecoder,
+        )
+        self.airbtb.synchronized = True
+        self.history = shared_history or ShiftHistory(self.config.shift, llc=llc)
+        self.prefetcher = ShiftPrefetcher(
+            self.history, record_history=record_history, config=self.config.shift
+        )
+        self.demand_predecodes = 0
+        self.prefetch_predecodes = 0
+        l1i.add_listener(self)
+
+    # ------------------------------------------------------------------ #
+    # L1-I fill listener interface
+    # ------------------------------------------------------------------ #
+
+    def on_block_fill(self, block_addr: int, demand: bool) -> None:
+        """Predecode an arriving block and insert its branches into AirBTB."""
+        block = self.image.block_at(block_addr)
+        if block is None:
+            return
+        predecoded = self.predecoder.predecode(block)
+        if demand:
+            self.demand_predecodes += 1
+        else:
+            self.prefetch_predecodes += 1
+        self.airbtb.on_block_fill(predecoded, demand=demand)
+
+    def on_block_evict(self, block_addr: int) -> None:
+        """Keep AirBTB's content identical to the L1-I's."""
+        self.airbtb.on_block_evict(block_addr)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors used by the frontend simulator and benches
+    # ------------------------------------------------------------------ #
+
+    @property
+    def btb(self) -> AirBTB:
+        return self.airbtb
+
+    @property
+    def demand_fill_penalty_cycles(self) -> int:
+        """Extra cycles a demand miss pays for predecoding before insertion."""
+        return self.config.predecode_latency_cycles
+
+    @property
+    def storage_kb(self) -> float:
+        """Dedicated per-core storage added by Confluence (AirBTB only)."""
+        return self.airbtb.storage_kb

@@ -1,0 +1,166 @@
+"""Named frontend design points of the evaluation.
+
+Each design point bundles a BTB design, an instruction prefetcher and the
+area accounting the paper attributes to that combination.  The factory
+returns a ready-to-run :class:`~repro.core.frontend.FrontendSimulator` plus
+its :class:`~repro.core.area.FrontendAreaReport`, so benchmarks, examples and
+the CMP driver all assemble design points the same way.
+
+Design points (Sections 2.3, 4.2 and 5):
+
+==================  =====================================  ==================
+name                BTB                                    instruction supply
+==================  =====================================  ==================
+``baseline``        1K-entry conventional + victim buffer  none
+``fdp``             1K-entry conventional + victim buffer  FDP
+``phantom_fdp``     PhantomBTB                             FDP
+``2level_fdp``      two-level (1K + 16K)                   FDP
+``phantom_shift``   PhantomBTB                             SHIFT
+``2level_shift``    two-level (1K + 16K)                   SHIFT
+``idealbtb_shift``  16K-entry, single cycle                SHIFT
+``confluence``      AirBTB, synchronized with the L1-I     SHIFT (Confluence)
+``ideal``           perfect BTB                            perfect L1-I
+==================  =====================================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.branch.btb_conventional import ConventionalBTB, PerfectBTB
+from repro.branch.btb_phantom import PhantomBTB
+from repro.branch.btb_two_level import TwoLevelBTB
+from repro.branch.unit import BranchPredictionUnit
+from repro.caches.l1i import InstructionCache
+from repro.caches.llc import SharedLLC
+from repro.core.area import AreaModel, FrontendAreaReport
+from repro.core.confluence import Confluence, ConfluenceConfig
+from repro.core.frontend import FrontendConfig, FrontendSimulator
+from repro.prefetch.base import NullPrefetcher
+from repro.prefetch.fdp import FetchDirectedPrefetcher
+from repro.prefetch.shift import ShiftHistory, ShiftPrefetcher
+from repro.workloads.cfg import SyntheticProgram
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """Descriptor of one named frontend configuration."""
+
+    name: str
+    label: str
+    btb: str
+    prefetcher: str
+    uses_shift: bool = False
+    perfect_l1i: bool = False
+    perfect_btb: bool = False
+
+
+DESIGN_POINTS: Dict[str, DesignPoint] = {
+    point.name: point
+    for point in (
+        DesignPoint("baseline", "1K BTB (baseline)", "conventional_1k", "none"),
+        DesignPoint("fdp", "FDP", "conventional_1k", "fdp"),
+        DesignPoint("phantom_fdp", "PhantomBTB+FDP", "phantom", "fdp"),
+        DesignPoint("2level_fdp", "2LevelBTB+FDP", "two_level", "fdp"),
+        DesignPoint("phantom_shift", "PhantomBTB+SHIFT", "phantom", "shift", uses_shift=True),
+        DesignPoint("2level_shift", "2LevelBTB+SHIFT", "two_level", "shift", uses_shift=True),
+        DesignPoint(
+            "idealbtb_shift", "IdealBTB+SHIFT", "ideal_16k", "shift", uses_shift=True
+        ),
+        DesignPoint(
+            "confluence", "Confluence", "airbtb", "shift", uses_shift=True
+        ),
+        DesignPoint(
+            "ideal", "Ideal", "perfect", "perfect", perfect_l1i=True, perfect_btb=True
+        ),
+    )
+}
+
+
+def build_design(
+    name: str,
+    program: SyntheticProgram,
+    llc: Optional[SharedLLC] = None,
+    shared_history: Optional[ShiftHistory] = None,
+    frontend_config: Optional[FrontendConfig] = None,
+    record_history: bool = True,
+) -> Tuple[FrontendSimulator, FrontendAreaReport]:
+    """Instantiate the named design point for one core.
+
+    ``llc`` and ``shared_history`` may be shared across cores (the CMP driver
+    does this); when omitted, private instances are created, which models a
+    single core of the CMP with its share of the LLC.
+    """
+    try:
+        point = DESIGN_POINTS[name]
+    except KeyError:
+        known = ", ".join(sorted(DESIGN_POINTS))
+        raise KeyError(f"unknown design point {name!r}; known: {known}") from None
+
+    llc = llc if llc is not None else SharedLLC()
+    area_model = AreaModel()
+    l1i = InstructionCache()
+    confluence: Optional[Confluence] = None
+
+    # --- BTB ---------------------------------------------------------------
+    if point.btb == "conventional_1k":
+        btb = ConventionalBTB(entries=1024, victim_entries=64)
+        btb_kb = btb.storage_kb
+    elif point.btb == "two_level":
+        btb = TwoLevelBTB()
+        btb_kb = btb.storage_kb
+    elif point.btb == "phantom":
+        btb = PhantomBTB(llc=llc)
+        btb_kb = btb.storage_kb
+    elif point.btb == "ideal_16k":
+        btb = ConventionalBTB(entries=16 * 1024, latency_cycles=1, name="ideal_btb_16k")
+        btb_kb = btb.storage_kb
+    elif point.btb == "perfect":
+        btb = PerfectBTB()
+        btb_kb = ConventionalBTB(entries=1024, victim_entries=64).storage_kb
+    elif point.btb == "airbtb":
+        confluence = Confluence(
+            image=program.image,
+            l1i=l1i,
+            shared_history=shared_history,
+            llc=llc,
+            record_history=record_history,
+        )
+        btb = confluence.airbtb
+        btb_kb = confluence.storage_kb
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unhandled BTB kind {point.btb}")
+
+    # --- prefetcher ---------------------------------------------------------
+    if point.prefetcher == "none" or point.prefetcher == "perfect":
+        prefetcher = NullPrefetcher()
+    elif point.prefetcher == "fdp":
+        prefetcher = FetchDirectedPrefetcher()
+    elif point.prefetcher == "shift":
+        if confluence is not None:
+            prefetcher = confluence.prefetcher
+        else:
+            history = shared_history or ShiftHistory(llc=llc)
+            prefetcher = ShiftPrefetcher(history, record_history=record_history)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unhandled prefetcher kind {point.prefetcher}")
+
+    bpu = BranchPredictionUnit(btb=btb)
+    simulator = FrontendSimulator(
+        bpu=bpu,
+        l1i=l1i,
+        llc=llc,
+        prefetcher=prefetcher,
+        confluence=confluence,
+        config=frontend_config,
+        perfect_l1i=point.perfect_l1i,
+        design_name=point.name,
+    )
+
+    area = area_model.report_for(
+        design=point.name,
+        btb_storage_kb=btb_kb if btb_kb != float("inf") else 0.0,
+        shift_shared=point.uses_shift,
+    )
+    return simulator, area

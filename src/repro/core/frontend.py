@@ -1,0 +1,277 @@
+"""Trace-driven frontend timing model.
+
+The model walks a fetch-region trace through a branch prediction unit, an
+L1-I, an optional instruction prefetcher and an optional Confluence instance,
+charging stall cycles for the events that differentiate the paper's design
+points:
+
+* **misfetches** — a taken branch whose target the BTB could not supply is
+  discovered in the first decode stage, costing the misfetch penalty
+  (4 cycles for the modelled 3-fetch-stage core),
+* **second-level BTB bubbles** — hierarchical BTBs (two-level, PhantomBTB)
+  serve first-level misses from a slower structure, exposing its latency,
+* **L1-I miss stalls** — a fetch that misses waits for the LLC round trip,
+  minus however much of that latency an earlier prefetch already hid,
+* **direction mispredictions** — identical across design points but modelled
+  for realism of the absolute numbers.
+
+Cycle accounting is additive on top of a base CPI that folds together the
+core's issue width and all non-frontend stalls; the paper's relative numbers
+come from the frontend terms, which is what this model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.branch.unit import BranchPredictionUnit
+from repro.caches.l1i import InstructionCache
+from repro.caches.llc import SharedLLC
+from repro.core.confluence import Confluence
+from repro.prefetch.base import InstructionPrefetcher, NullPrefetcher, PrefetchContext
+from repro.workloads.trace import FetchRecord, Trace
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Timing parameters of the modelled core (Table 1 and Section 4.1)."""
+
+    base_cpi: float = 1.0
+    misfetch_penalty_cycles: int = 4
+    direction_mispredict_penalty_cycles: int = 12
+    fetch_queue_basic_blocks: int = 6
+    warmup_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+
+
+@dataclass
+class FrontendResult:
+    """Measured portion of one frontend simulation."""
+
+    design: str
+    workload: str
+    instructions: int = 0
+    fetch_regions: int = 0
+    base_cycles: float = 0.0
+    misfetch_stall_cycles: int = 0
+    btb_latency_stall_cycles: int = 0
+    l1i_stall_cycles: int = 0
+    direction_stall_cycles: int = 0
+    misfetches: int = 0
+    btb_taken_lookups: int = 0
+    btb_taken_misses: int = 0
+    second_level_accesses: int = 0
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1i_prefetch_hits: int = 0
+    direction_mispredictions: int = 0
+    prefetches_issued: int = 0
+
+    @property
+    def stall_cycles(self) -> int:
+        return (
+            self.misfetch_stall_cycles
+            + self.btb_latency_stall_cycles
+            + self.l1i_stall_cycles
+            + self.direction_stall_cycles
+        )
+
+    @property
+    def cycles(self) -> float:
+        return self.base_cycles + self.stall_cycles
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def btb_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.btb_taken_misses / self.instructions
+
+    @property
+    def l1i_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l1i_misses / self.instructions
+
+    def speedup_over(self, baseline: "FrontendResult") -> float:
+        """Performance (IPC) relative to ``baseline``."""
+        if self.ipc == 0 or baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+class FrontendSimulator:
+    """Runs one core's fetch-region trace through a frontend design point."""
+
+    def __init__(
+        self,
+        bpu: BranchPredictionUnit,
+        l1i: Optional[InstructionCache] = None,
+        llc: Optional[SharedLLC] = None,
+        prefetcher: Optional[InstructionPrefetcher] = None,
+        confluence: Optional[Confluence] = None,
+        config: Optional[FrontendConfig] = None,
+        perfect_l1i: bool = False,
+        design_name: str = "frontend",
+    ) -> None:
+        self.bpu = bpu
+        # Note: "l1i or InstructionCache()" would silently replace an *empty*
+        # cache (len() == 0 is falsy) — always compare against None.
+        self.l1i = l1i if l1i is not None else InstructionCache()
+        self.llc = llc if llc is not None else SharedLLC()
+        self.prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
+        self.confluence = confluence
+        self.config = config or FrontendConfig()
+        self.perfect_l1i = perfect_l1i
+        self.design_name = design_name
+        #: Prefetched blocks still in flight: block address -> ready cycle.
+        self._inflight: Dict[int, float] = {}
+        self._cycle: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Simulation loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Trace, warmup_fraction: Optional[float] = None) -> FrontendResult:
+        """Simulate ``trace``; statistics cover the post-warmup portion."""
+        records = trace.records
+        warmup = warmup_fraction if warmup_fraction is not None else self.config.warmup_fraction
+        warmup_boundary = int(len(records) * warmup)
+        result = FrontendResult(design=self.design_name, workload=trace.name)
+        llc_latency = self.llc.round_trip_latency_cycles
+
+        for index, record in enumerate(records):
+            measured = index >= warmup_boundary
+            self._simulate_region(records, index, record, llc_latency, result, measured)
+
+        self._finalize(result)
+        return result
+
+    def _simulate_region(
+        self,
+        records: Sequence[FetchRecord],
+        index: int,
+        record: FetchRecord,
+        llc_latency: int,
+        result: FrontendResult,
+        measured: bool,
+    ) -> None:
+        config = self.config
+        cycle_start = self._cycle
+
+        # --- branch prediction -------------------------------------------------
+        prediction = self.bpu.predict(record)
+        btb_result = prediction.btb_result
+        btb_bubble = 0
+        if btb_result.hit and btb_result.latency_cycles > 1:
+            btb_bubble = btb_result.latency_cycles - 1
+        misfetch = prediction.misfetch
+        direction_miss = (
+            not prediction.direction_correct and record.branch_pc is not None and not misfetch
+        )
+
+        # --- instruction fetch -------------------------------------------------
+        fetch_stall = 0
+        demand_miss_block: Optional[int] = None
+        prefetch_hits = 0
+        misses = 0
+        accesses = 0
+        for block in record.blocks():
+            accesses += 1
+            if self.perfect_l1i:
+                continue
+            if self.l1i.access(block):
+                ready = self._inflight.pop(block, None)
+                if ready is not None:
+                    # The block was installed by a prefetch that is still in
+                    # flight; only the remaining latency (if any) is exposed.
+                    remaining = max(0.0, ready - self._cycle)
+                    max_lead = self.prefetcher.max_lead_cycles
+                    if max_lead is not None:
+                        # Prefetchers with bounded lookahead (FDP) can hide at
+                        # most ``max_lead`` cycles of the round trip.
+                        remaining = max(remaining, llc_latency - max_lead)
+                    fetch_stall += int(round(remaining))
+                    prefetch_hits += 1
+                continue
+            misses += 1
+            demand_miss_block = block if demand_miss_block is None else demand_miss_block
+            stall = llc_latency
+            if self.confluence is not None:
+                stall += self.confluence.demand_fill_penalty_cycles
+            fetch_stall += stall
+            self.llc.fetch_instruction_block(block)
+            self.l1i.fill(block, demand=True)
+
+        # --- cycle accounting --------------------------------------------------
+        self._cycle += record.instruction_count * config.base_cpi
+        if misfetch:
+            self._cycle += config.misfetch_penalty_cycles
+        elif direction_miss:
+            self._cycle += config.direction_mispredict_penalty_cycles
+        self._cycle += btb_bubble + fetch_stall
+
+        # --- prefetching -------------------------------------------------------
+        context = PrefetchContext(
+            records=records,
+            index=index,
+            cycle=self._cycle,
+            l1i=self.l1i,
+            bpu=self.bpu,
+            demand_miss_block=demand_miss_block,
+        )
+        issued = 0
+        for target in self.prefetcher.prefetch_targets(context):
+            if self.perfect_l1i:
+                break
+            if self.l1i.contains(target) or target in self._inflight:
+                continue
+            # The block (and, under Confluence, its predecoded branch entries)
+            # is installed now; its *use* before the LLC round trip completes
+            # still pays the remaining latency through the in-flight table.
+            self._inflight[target] = self._cycle + llc_latency
+            self.llc.fetch_instruction_block(target)
+            self.l1i.fill(target, demand=False)
+            issued += 1
+
+        # --- resolution / training ---------------------------------------------
+        self.bpu.resolve(record)
+
+        if not measured:
+            return
+        result.instructions += record.instruction_count
+        result.fetch_regions += 1
+        result.base_cycles += record.instruction_count * config.base_cpi
+        result.misfetch_stall_cycles += config.misfetch_penalty_cycles if misfetch else 0
+        result.direction_stall_cycles += (
+            config.direction_mispredict_penalty_cycles if direction_miss else 0
+        )
+        result.btb_latency_stall_cycles += btb_bubble
+        result.l1i_stall_cycles += fetch_stall
+        result.misfetches += int(misfetch)
+        if record.is_taken_branch:
+            result.btb_taken_lookups += 1
+            if not btb_result.hit:
+                result.btb_taken_misses += 1
+        if btb_result.level in ("l2",):
+            result.second_level_accesses += 1
+        result.l1i_accesses += accesses
+        result.l1i_misses += misses
+        result.l1i_prefetch_hits += prefetch_hits
+        result.direction_mispredictions += int(not prediction.direction_correct)
+        result.prefetches_issued += issued
+
+    def _finalize(self, result: FrontendResult) -> None:
+        # Drop stale in-flight entries so repeated run() calls start clean.
+        self._inflight.clear()

@@ -1,0 +1,72 @@
+"""Metrics used throughout the evaluation.
+
+Small, dependency-free helpers so benchmarks, tests and examples all compute
+MPKI, miss coverage and speedups the same way the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per kilo-instruction."""
+    if instructions <= 0:
+        return 0.0
+    return 1000.0 * misses / instructions
+
+
+def miss_coverage(baseline_misses: int, design_misses: int) -> float:
+    """Fraction of the baseline's misses a design eliminates (Figures 8-10).
+
+    Negative values mean the design *added* misses relative to the baseline,
+    which Figure 10 shows for undersized AirBTB configurations.
+    """
+    if baseline_misses <= 0:
+        return 0.0
+    return (baseline_misses - design_misses) / baseline_misses
+
+
+def speedup(baseline_cycles: float, design_cycles: float) -> float:
+    """Performance of a design relative to a baseline (same instruction count)."""
+    if design_cycles <= 0 or baseline_cycles <= 0:
+        return 0.0
+    return baseline_cycles / design_cycles
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional way to average speedups."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def fraction_of_ideal(design_speedup: float, ideal_speedup: float) -> float:
+    """How much of the ideal design's *improvement* a design captures.
+
+    The paper's headline metric: Confluence delivers 85% of the performance
+    improvement of a perfect L1-I + BTB, i.e.
+    (design - 1) / (ideal - 1).
+    """
+    if ideal_speedup <= 1.0:
+        return 0.0
+    return (design_speedup - 1.0) / (ideal_speedup - 1.0)
+
+
+def normalize(values: Mapping[str, float], reference_key: str) -> Dict[str, float]:
+    """Normalize a mapping of values to one reference entry."""
+    reference = values[reference_key]
+    if reference == 0:
+        raise ValueError(f"reference value {reference_key!r} is zero")
+    return {key: value / reference for key, value in values.items()}

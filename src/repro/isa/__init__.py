@@ -1,0 +1,45 @@
+"""Instruction-set model used by the Confluence reproduction.
+
+The paper evaluates an UltraSPARC III (RISC, fixed 4-byte instructions)
+machine.  The frontend mechanisms it studies only care about a small slice of
+the ISA:
+
+* which instructions are branches,
+* what kind of branch they are (conditional, unconditional direct, indirect,
+  call, return),
+* where the branch sits inside its 64-byte instruction block, and
+* the PC-relative target encoded in the instruction.
+
+This package provides a symbolic instruction model carrying exactly that
+information, the 64-byte / 16-instruction block model, and the hardware
+predecoder that Confluence uses to scan blocks on their way into the L1-I.
+"""
+
+from repro.isa.instruction import (
+    BLOCK_SIZE_BYTES,
+    INSTRUCTION_SIZE_BYTES,
+    INSTRUCTIONS_PER_BLOCK,
+    BranchKind,
+    Instruction,
+    block_address,
+    block_index,
+    block_offset,
+)
+from repro.isa.block import InstructionBlock, ProgramImage
+from repro.isa.predecode import BranchDescriptor, PredecodedBlock, Predecoder
+
+__all__ = [
+    "BLOCK_SIZE_BYTES",
+    "INSTRUCTION_SIZE_BYTES",
+    "INSTRUCTIONS_PER_BLOCK",
+    "BranchKind",
+    "Instruction",
+    "InstructionBlock",
+    "ProgramImage",
+    "BranchDescriptor",
+    "PredecodedBlock",
+    "Predecoder",
+    "block_address",
+    "block_index",
+    "block_offset",
+]

@@ -1,0 +1,157 @@
+"""Instruction-block and program-image containers.
+
+The program image is the static picture of the synthetic workload binary: a
+mapping from block addresses to :class:`InstructionBlock` objects.  It is what
+the Confluence predecoder scans when an instruction block is brought into the
+L1-I, and what trace-driven components consult to recover the branches inside
+a block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.isa.instruction import (
+    BLOCK_SIZE_BYTES,
+    INSTRUCTIONS_PER_BLOCK,
+    Instruction,
+    block_address,
+    block_offset,
+)
+
+
+@dataclass
+class InstructionBlock:
+    """A 64-byte aligned instruction block.
+
+    Instructions are stored sparsely by slot (0..15); slots that were never
+    populated by the program layout behave as non-branch filler instructions,
+    which is how padding/NOP regions of a real binary look to the frontend.
+    """
+
+    base_address: int
+    _slots: Dict[int, Instruction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base_address % BLOCK_SIZE_BYTES != 0:
+            raise ValueError(f"block base address {self.base_address:#x} is not 64-byte aligned")
+
+    def add(self, instruction: Instruction) -> None:
+        """Place ``instruction`` into its slot within this block."""
+        if block_address(instruction.address) != self.base_address:
+            raise ValueError(
+                f"instruction {instruction.address:#x} does not belong to block "
+                f"{self.base_address:#x}"
+            )
+        self._slots[instruction.offset_in_block] = instruction
+
+    def instruction_at_offset(self, offset: int) -> Optional[Instruction]:
+        """Return the instruction in slot ``offset`` or None for filler slots."""
+        if not 0 <= offset < INSTRUCTIONS_PER_BLOCK:
+            raise ValueError(f"offset {offset} outside block")
+        return self._slots.get(offset)
+
+    def instruction_at(self, address: int) -> Optional[Instruction]:
+        if block_address(address) != self.base_address:
+            raise ValueError(f"address {address:#x} outside block {self.base_address:#x}")
+        return self._slots.get(block_offset(address))
+
+    @property
+    def branches(self) -> List[Instruction]:
+        """Branch instructions in the block, in ascending offset order."""
+        return [
+            self._slots[offset]
+            for offset in sorted(self._slots)
+            if self._slots[offset].is_branch
+        ]
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for instr in self._slots.values() if instr.is_branch)
+
+    @property
+    def branch_bitmap(self) -> int:
+        """16-bit bitmap with one bit per instruction slot that holds a branch."""
+        bitmap = 0
+        for offset, instr in self._slots.items():
+            if instr.is_branch:
+                bitmap |= 1 << offset
+        return bitmap
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for offset in sorted(self._slots):
+            yield self._slots[offset]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+class ProgramImage:
+    """Static instruction image of a synthetic workload.
+
+    Provides block-level access for the predecoder and instruction-level
+    access for trace generation and BTB studies.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, InstructionBlock] = {}
+
+    def add_instruction(self, instruction: Instruction) -> None:
+        base = block_address(instruction.address)
+        block = self._blocks.get(base)
+        if block is None:
+            block = InstructionBlock(base)
+            self._blocks[base] = block
+        block.add(instruction)
+
+    def add_instructions(self, instructions: Iterable[Instruction]) -> None:
+        for instruction in instructions:
+            self.add_instruction(instruction)
+
+    def block_at(self, address: int) -> Optional[InstructionBlock]:
+        """Return the block containing ``address`` (any address inside it)."""
+        return self._blocks.get(block_address(address))
+
+    def instruction_at(self, address: int) -> Optional[Instruction]:
+        block = self.block_at(address)
+        if block is None:
+            return None
+        return block.instruction_at(address)
+
+    def blocks(self) -> Iterator[InstructionBlock]:
+        for base in sorted(self._blocks):
+            yield self._blocks[base]
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Instruction footprint in bytes (number of blocks x 64 B)."""
+        return self.block_count * BLOCK_SIZE_BYTES
+
+    @property
+    def static_branch_count(self) -> int:
+        return sum(block.branch_count for block in self._blocks.values())
+
+    def branch_density(self) -> float:
+        """Average number of static branch instructions per block."""
+        if not self._blocks:
+            return 0.0
+        return self.static_branch_count / self.block_count
+
+    def address_range(self) -> Tuple[int, int]:
+        """Lowest block base and highest block end address in the image."""
+        if not self._blocks:
+            return (0, 0)
+        lowest = min(self._blocks)
+        highest = max(self._blocks) + BLOCK_SIZE_BYTES
+        return lowest, highest
+
+    def __contains__(self, address: int) -> bool:
+        return block_address(address) in self._blocks
+
+    def __len__(self) -> int:
+        return self.block_count

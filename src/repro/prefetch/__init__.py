@@ -1,0 +1,27 @@
+"""Instruction prefetchers.
+
+Two prefetchers from the paper's design space:
+
+* :class:`FetchDirectedPrefetcher` (FDP) — the branch prediction unit runs
+  ahead of fetch through a small queue of basic blocks and prefetches the
+  blocks on the predicted path.  Limited lookahead and compounding prediction
+  error cap its coverage and timeliness.
+* :class:`ShiftPrefetcher` (SHIFT) — the state-of-the-art stream-based
+  prefetcher the paper builds Confluence on: a shared, LLC-virtualized
+  history of the L1-I block access stream is replayed ahead of the fetch
+  stream, eliminating the vast majority of L1-I misses.
+"""
+
+from repro.prefetch.base import InstructionPrefetcher, PrefetchContext, NullPrefetcher
+from repro.prefetch.fdp import FetchDirectedPrefetcher
+from repro.prefetch.shift import ShiftConfig, ShiftHistory, ShiftPrefetcher
+
+__all__ = [
+    "InstructionPrefetcher",
+    "PrefetchContext",
+    "NullPrefetcher",
+    "FetchDirectedPrefetcher",
+    "ShiftConfig",
+    "ShiftHistory",
+    "ShiftPrefetcher",
+]

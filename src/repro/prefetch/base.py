@@ -1,0 +1,83 @@
+"""Prefetcher interface shared by FDP, SHIFT and the null prefetcher.
+
+The frontend simulator calls the prefetcher once per fetch region with a
+:class:`PrefetchContext` describing where the core currently is; the
+prefetcher returns the block addresses it wants brought into the L1-I.  The
+engine models the timeliness of those prefetches (a prefetch issued `d`
+cycles before its block is demanded hides `d` cycles of the LLC round trip).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.workloads.trace import FetchRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.branch.unit import BranchPredictionUnit
+    from repro.caches.l1i import InstructionCache
+
+
+@dataclass
+class PrefetchContext:
+    """Everything a prefetcher may inspect when deciding what to fetch next.
+
+    Attributes:
+        records: the full fetch-region trace being simulated.
+        index: position of the region the core is currently fetching.
+        cycle: current simulation cycle.
+        l1i: the core's instruction cache (presence checks only).
+        bpu: the core's branch prediction unit (used by FDP to run ahead).
+        demand_miss_block: block address of the L1-I miss that triggered this
+            call, or None when the current region hit.
+    """
+
+    records: Sequence[FetchRecord]
+    index: int
+    cycle: int
+    l1i: "InstructionCache"
+    bpu: Optional["BranchPredictionUnit"] = None
+    demand_miss_block: Optional[int] = None
+
+    @property
+    def current_record(self) -> FetchRecord:
+        return self.records[self.index]
+
+
+class InstructionPrefetcher(abc.ABC):
+    """Base class for instruction prefetchers."""
+
+    name = "prefetcher"
+
+    #: Upper bound on how many cycles of the LLC round trip a prefetch from
+    #: this prefetcher can hide.  ``None`` means unbounded (stream prefetchers
+    #: run arbitrarily far ahead of the fetch unit); FDP is bounded by its
+    #: fetch-queue depth because the branch prediction unit only runs a few
+    #: basic blocks ahead of fetch.
+    max_lead_cycles: Optional[int] = None
+
+    def __init__(self) -> None:
+        self.issued_prefetches = 0
+
+    @abc.abstractmethod
+    def prefetch_targets(self, context: PrefetchContext) -> Iterable[int]:
+        """Return block addresses to prefetch, in priority order."""
+
+    def observe_fill(self, block_addr: int, demand: bool) -> None:
+        """Hook: a block was installed in the L1-I (demand or prefetch)."""
+
+    @property
+    def storage_kb(self) -> float:
+        """Dedicated per-core storage of the prefetcher."""
+        return 0.0
+
+
+class NullPrefetcher(InstructionPrefetcher):
+    """No prefetching (the baseline core)."""
+
+    name = "none"
+
+    def prefetch_targets(self, context: PrefetchContext) -> List[int]:
+        return []

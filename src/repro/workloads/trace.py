@@ -1,0 +1,228 @@
+"""Fetch-region traces and their statistics.
+
+The frontend mechanisms in the paper all operate on the stream of *fetch
+regions* (basic blocks) produced by the branch prediction unit, so the trace
+is recorded at that granularity: one :class:`FetchRecord` per executed basic
+block, carrying the terminating branch and its dynamic outcome.  Instruction
+and block-level streams are derived views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import (
+    BLOCK_SIZE_BYTES,
+    INSTRUCTION_SIZE_BYTES,
+    BranchKind,
+    block_address,
+)
+
+
+@dataclass(frozen=True)
+class FetchRecord:
+    """One executed fetch region (basic block) of the correct path.
+
+    Attributes:
+        start: address of the first instruction of the region.
+        instruction_count: number of instructions executed in the region,
+            including the terminating branch when present.
+        branch_pc: address of the terminating branch, or None when the region
+            ends without a branch (e.g. a trace cut).
+        kind: branch kind of the terminating branch, or None.
+        taken: dynamic outcome of the terminating branch.
+        target: statically-encoded target of the branch (None for indirect
+            branches and returns whose target is dynamic).
+        next_pc: address of the next fetch region actually executed.
+    """
+
+    start: int
+    instruction_count: int
+    branch_pc: Optional[int]
+    kind: Optional[BranchKind]
+    taken: bool
+    target: Optional[int]
+    next_pc: int
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction of the region."""
+        return self.start + self.instruction_count * INSTRUCTION_SIZE_BYTES
+
+    @property
+    def last_instruction(self) -> int:
+        return self.start + (self.instruction_count - 1) * INSTRUCTION_SIZE_BYTES
+
+    @property
+    def fallthrough(self) -> int:
+        """Address following the terminating branch (used on not-taken)."""
+        if self.branch_pc is None:
+            return self.end
+        return self.branch_pc + INSTRUCTION_SIZE_BYTES
+
+    @property
+    def has_branch(self) -> bool:
+        return self.branch_pc is not None
+
+    @property
+    def is_taken_branch(self) -> bool:
+        return self.branch_pc is not None and self.taken
+
+    def blocks(self) -> Tuple[int, ...]:
+        """Block addresses touched by the region, in fetch order."""
+        first = block_address(self.start)
+        last = block_address(self.last_instruction)
+        return tuple(range(first, last + 1, BLOCK_SIZE_BYTES))
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate properties of a trace, used to validate workload realism."""
+
+    instruction_count: int = 0
+    fetch_region_count: int = 0
+    branch_count: int = 0
+    taken_branch_count: int = 0
+    conditional_count: int = 0
+    conditional_taken_count: int = 0
+    call_count: int = 0
+    return_count: int = 0
+    indirect_count: int = 0
+    unique_blocks: int = 0
+    unique_taken_branches: int = 0
+
+    @property
+    def instruction_footprint_bytes(self) -> int:
+        return self.unique_blocks * BLOCK_SIZE_BYTES
+
+    @property
+    def taken_branch_fraction(self) -> float:
+        if self.branch_count == 0:
+            return 0.0
+        return self.taken_branch_count / self.branch_count
+
+    @property
+    def average_region_length(self) -> float:
+        if self.fetch_region_count == 0:
+            return 0.0
+        return self.instruction_count / self.fetch_region_count
+
+
+class Trace:
+    """A materialized sequence of fetch records plus derived statistics."""
+
+    def __init__(self, records: Sequence[FetchRecord], name: str = "trace") -> None:
+        self.name = name
+        self._records: List[FetchRecord] = list(records)
+
+    def __iter__(self) -> Iterator[FetchRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> FetchRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Sequence[FetchRecord]:
+        return self._records
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(record.instruction_count for record in self._records)
+
+    def block_stream(self) -> Iterator[int]:
+        """Block addresses in fetch order with consecutive duplicates removed.
+
+        This is the stream an L1-I front end observes: repeated accesses to
+        the same block within a fetch region (or across back-to-back regions)
+        do not re-access the cache.
+        """
+        previous = None
+        for record in self._records:
+            for block in record.blocks():
+                if block != previous:
+                    yield block
+                    previous = block
+
+    def taken_branches(self) -> Iterator[Tuple[int, Optional[int]]]:
+        """(branch_pc, actual_target) pairs for every taken branch."""
+        for record in self._records:
+            if record.is_taken_branch:
+                yield record.branch_pc, record.next_pc
+
+    def statistics(self) -> TraceStatistics:
+        stats = TraceStatistics()
+        blocks: Set[int] = set()
+        taken_pcs: Set[int] = set()
+        for record in self._records:
+            stats.fetch_region_count += 1
+            stats.instruction_count += record.instruction_count
+            blocks.update(record.blocks())
+            if record.branch_pc is None:
+                continue
+            stats.branch_count += 1
+            if record.kind is BranchKind.CONDITIONAL:
+                stats.conditional_count += 1
+                if record.taken:
+                    stats.conditional_taken_count += 1
+            if record.kind is not None and record.kind.is_call:
+                stats.call_count += 1
+            if record.kind is BranchKind.RETURN:
+                stats.return_count += 1
+            if record.kind is not None and record.kind.is_indirect:
+                stats.indirect_count += 1
+            if record.taken:
+                stats.taken_branch_count += 1
+                taken_pcs.add(record.branch_pc)
+        stats.unique_blocks = len(blocks)
+        stats.unique_taken_branches = len(taken_pcs)
+        return stats
+
+    def branch_density(self) -> Dict[str, float]:
+        """Static and dynamic branch density per touched block (Table 2).
+
+        *Static* is the mean number of distinct branch PCs observed per
+        touched block over the whole trace; *dynamic* approximates the mean
+        number of distinct taken branches exercised per block per visit
+        episode, the quantity Table 2 reports for block residency in the
+        L1-I.
+        """
+        static_branches: Dict[int, Set[int]] = {}
+        dynamic_counts: List[int] = []
+        current_block: Optional[int] = None
+        current_branches: Set[int] = set()
+        for record in self._records:
+            if record.branch_pc is None:
+                continue
+            branch_block = block_address(record.branch_pc)
+            static_branches.setdefault(branch_block, set()).add(record.branch_pc)
+            if branch_block != current_block:
+                if current_block is not None:
+                    dynamic_counts.append(len(current_branches))
+                current_block = branch_block
+                current_branches = set()
+            if record.taken:
+                current_branches.add(record.branch_pc)
+        if current_block is not None:
+            dynamic_counts.append(len(current_branches))
+        static = (
+            sum(len(pcs) for pcs in static_branches.values()) / len(static_branches)
+            if static_branches
+            else 0.0
+        )
+        dynamic = sum(dynamic_counts) / len(dynamic_counts) if dynamic_counts else 0.0
+        return {"static": static, "dynamic": dynamic}
+
+    def head(self, count: int) -> "Trace":
+        """Return a new trace containing the first ``count`` records."""
+        return Trace(self._records[:count], name=f"{self.name}[:{count}]")
+
+    @classmethod
+    def concatenate(cls, traces: Iterable["Trace"], name: str = "concat") -> "Trace":
+        records: List[FetchRecord] = []
+        for trace in traces:
+            records.extend(trace.records)
+        return cls(records, name=name)

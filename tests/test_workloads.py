@@ -1,0 +1,216 @@
+"""Tests for workload profiles, program synthesis and trace generation."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.instruction import BranchKind, block_address
+from repro.workloads import (
+    EVALUATION_WORKLOADS,
+    WORKLOAD_PROFILES,
+    TraceWalker,
+    evaluation_profiles,
+    generate_trace,
+    get_profile,
+    synthesize_program,
+)
+
+
+class TestProfiles:
+    def test_all_paper_workloads_present(self):
+        for name in ("oltp_db2", "oltp_oracle", "dss_qry2", "media_streaming", "web_frontend"):
+            assert name in WORKLOAD_PROFILES
+
+    def test_evaluation_groups_cover_paper_categories(self):
+        assert set(EVALUATION_WORKLOADS) == {
+            "OLTP DB2",
+            "OLTP Oracle",
+            "DSS Qrys",
+            "Media Streaming",
+            "Web Frontend",
+        }
+
+    def test_get_profile_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_profile("does_not_exist")
+
+    def test_oracle_has_largest_footprint(self):
+        footprints = {
+            name: profile.approximate_footprint_kb
+            for name, profile in WORKLOAD_PROFILES.items()
+        }
+        assert max(footprints, key=footprints.get) == "oltp_oracle"
+
+    def test_static_branch_density_targets_match_table2(self):
+        # Table 2: DB2 3.6, Oracle 2.5, DSS ~3.4, Media 3.5, Web 4.3.
+        assert get_profile("oltp_db2").static_branch_density_target == pytest.approx(3.6, abs=0.1)
+        assert get_profile("oltp_oracle").static_branch_density_target == pytest.approx(2.5, abs=0.1)
+        assert get_profile("web_frontend").static_branch_density_target == pytest.approx(4.3, abs=0.1)
+
+    def test_footprints_exceed_l1i_capacity(self):
+        for profile in WORKLOAD_PROFILES.values():
+            assert profile.approximate_footprint_kb > 32
+
+    def test_scaled_reduces_functions_and_trace(self):
+        profile = get_profile("oltp_db2")
+        scaled = profile.scaled(0.5)
+        assert scaled.functions_per_layer < profile.functions_per_layer
+        assert scaled.recommended_trace_instructions < profile.recommended_trace_instructions
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            get_profile("oltp_db2").scaled(0)
+
+    def test_terminator_fractions_validated(self):
+        profile = get_profile("oltp_db2")
+        with pytest.raises(ValueError):
+            dataclasses.replace(profile, conditional_fraction=0.9)
+
+    def test_evaluation_profiles_scaling(self):
+        profiles = evaluation_profiles(scale=0.2)
+        assert len(profiles) == 5
+        for label, profile in profiles.items():
+            assert profile.functions_per_layer <= WORKLOAD_PROFILES[EVALUATION_WORKLOADS[label]].functions_per_layer
+
+
+class TestSynthesis:
+    def test_program_is_deterministic(self, tiny_profile):
+        first = synthesize_program(tiny_profile)
+        second = synthesize_program(tiny_profile)
+        assert first.footprint_bytes == second.footprint_bytes
+        assert first.entry_points == second.entry_points
+
+    def test_entry_points_are_layer0_functions(self, tiny_program):
+        layer0 = {f.entry for f in tiny_program.cfg.functions_in_layer(0)}
+        assert set(tiny_program.entry_points) <= layer0
+        assert len(tiny_program.entry_points) == tiny_program.profile.request_types
+
+    def test_every_function_ends_with_return(self, tiny_program):
+        for function in tiny_program.cfg.functions:
+            assert function.basic_blocks[-1].terminator_kind is BranchKind.RETURN
+
+    def test_basic_blocks_are_contiguous(self, tiny_program):
+        for function in tiny_program.cfg.functions:
+            blocks = function.basic_blocks
+            for previous, current in zip(blocks, blocks[1:]):
+                assert previous.end == current.start
+
+    def test_direct_branch_targets_are_block_starts(self, tiny_program):
+        cfg = tiny_program.cfg
+        checked = 0
+        for function in cfg.functions:
+            for block in function.basic_blocks:
+                behavior = cfg.behavior_of(block.terminator_pc)
+                if behavior.kind in (BranchKind.CONDITIONAL, BranchKind.UNCONDITIONAL):
+                    assert cfg.block_starting_at(behavior.taken_target) is not None
+                    checked += 1
+        assert checked > 0
+
+    def test_calls_target_deeper_layers(self, tiny_program):
+        cfg = tiny_program.cfg
+        layer_of = {}
+        for function in cfg.functions:
+            for block in function.basic_blocks:
+                layer_of[block.terminator_pc] = function.layer
+        for function in cfg.functions:
+            for block in function.basic_blocks:
+                behavior = cfg.behavior_of(block.terminator_pc)
+                if behavior.kind is BranchKind.CALL:
+                    callee = cfg.function_at(behavior.taken_target)
+                    assert callee is not None
+                    assert callee.layer > function.layer
+
+    def test_loop_targets_are_backward_and_local(self, tiny_program):
+        cfg = tiny_program.cfg
+        for function in cfg.functions:
+            starts = [b.start for b in function.basic_blocks]
+            for index, block in enumerate(function.basic_blocks):
+                behavior = cfg.behavior_of(block.terminator_pc)
+                if behavior.is_loop:
+                    target_index = starts.index(behavior.taken_target)
+                    assert target_index < index
+                    assert index - target_index <= 2
+
+    def test_image_matches_cfg_branches(self, tiny_program):
+        cfg = tiny_program.cfg
+        image = tiny_program.image
+        for function in cfg.functions[:20]:
+            for block in function.basic_blocks:
+                instr = image.instruction_at(block.terminator_pc)
+                assert instr is not None and instr.is_branch
+
+    def test_static_branch_density_close_to_target(self, tiny_program):
+        density = tiny_program.image.branch_density()
+        target = tiny_program.profile.static_branch_density_target
+        assert abs(density - target) / target < 0.35
+
+
+class TestTraceGeneration:
+    def test_trace_reaches_requested_length(self, tiny_program):
+        trace = generate_trace(tiny_program, 5_000, seed=1)
+        assert trace.instruction_count >= 5_000
+
+    def test_trace_is_deterministic_per_seed(self, tiny_program):
+        first = generate_trace(tiny_program, 5_000, seed=9)
+        second = generate_trace(tiny_program, 5_000, seed=9)
+        assert len(first) == len(second)
+        assert all(a == b for a, b in zip(first.records, second.records))
+
+    def test_different_seeds_differ(self, tiny_program):
+        first = generate_trace(tiny_program, 5_000, seed=1)
+        second = generate_trace(tiny_program, 5_000, seed=2)
+        assert any(a != b for a, b in zip(first.records, second.records))
+
+    def test_records_follow_control_flow(self, tiny_trace):
+        for record in list(tiny_trace.records)[:2000]:
+            if record.branch_pc is None:
+                continue
+            assert record.start <= record.branch_pc
+            if record.kind is BranchKind.CONDITIONAL and not record.taken:
+                assert record.next_pc == record.fallthrough
+
+    def test_taken_branch_fraction_reasonable(self, tiny_trace):
+        stats = tiny_trace.statistics()
+        assert 0.4 < stats.taken_branch_fraction < 0.95
+
+    def test_block_stream_has_no_consecutive_duplicates(self, tiny_trace):
+        previous = None
+        for block in tiny_trace.block_stream():
+            assert block != previous
+            previous = block
+
+    def test_statistics_consistency(self, tiny_trace):
+        stats = tiny_trace.statistics()
+        assert stats.instruction_count == tiny_trace.instruction_count
+        assert stats.fetch_region_count == len(tiny_trace)
+        assert stats.taken_branch_count <= stats.branch_count
+        assert stats.unique_taken_branches <= stats.taken_branch_count
+
+    def test_branch_density_positive(self, tiny_trace):
+        densities = tiny_trace.branch_density()
+        assert densities["static"] > 0
+        assert densities["dynamic"] > 0
+
+    def test_working_set_exceeds_l1i(self, small_trace):
+        stats = small_trace.statistics()
+        assert stats.unique_blocks > 512  # larger than the 32 KB L1-I
+
+    def test_walker_counts_requests_and_operations(self, tiny_program):
+        walker = TraceWalker(tiny_program, seed=4)
+        walker.run(5_000)
+        assert walker.requests_completed > 0
+        assert walker.operations_completed >= walker.requests_completed
+
+    def test_trace_head_and_concatenate(self, tiny_trace):
+        from repro.workloads.trace import Trace
+
+        head = tiny_trace.head(10)
+        assert len(head) == 10
+        combined = Trace.concatenate([head, head])
+        assert len(combined) == 20
+
+    def test_record_block_listing(self, tiny_trace):
+        record = tiny_trace[0]
+        blocks = record.blocks()
+        assert blocks[0] == block_address(record.start)
+        assert blocks[-1] == block_address(record.last_instruction)
