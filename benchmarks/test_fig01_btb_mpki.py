@@ -12,7 +12,7 @@ from repro.analysis import btb_capacity_sweep, format_table
 CAPACITIES = (1024, 2048, 4096, 8192, 16384, 32768)
 
 
-def test_fig01_btb_mpki_vs_capacity(workloads, benchmark):
+def test_fig01_btb_mpki_vs_capacity(workloads, benchmark, shape_assertions):
     def run():
         rows = []
         for label, (_, trace) in workloads.items():
@@ -27,6 +27,8 @@ def test_fig01_btb_mpki_vs_capacity(workloads, benchmark):
     print()
     print(format_table(rows, columns, title="Figure 1: BTB MPKI vs capacity (entries)"))
 
+    if not shape_assertions:
+        return
     for row in rows:
         # MPKI must fall monotonically (within noise) and collapse at 32K.
         assert row["1K"] > row["32K"]

@@ -12,7 +12,7 @@ from repro.core.metrics import geometric_mean
 DESIGNS = ("baseline", "phantom_shift", "2level_shift", "confluence", "idealbtb_shift")
 
 
-def test_fig07_btb_designs_with_shift(workloads, benchmark):
+def test_fig07_btb_designs_with_shift(workloads, benchmark, shape_assertions):
     def run():
         rows = []
         speedups = {name: [] for name in DESIGNS if name != "baseline"}
@@ -37,6 +37,8 @@ def test_fig07_btb_designs_with_shift(workloads, benchmark):
     print(format_table(rows, columns,
                        title="Figure 7: speedup over 1K-entry BTB, all with SHIFT"))
 
+    if not shape_assertions:
+        return
     geomean = rows[-1]
     # Confluence approaches the ideal BTB and beats the reactive two-level BTB.
     assert geomean["confluence"] > geomean["2level_shift"]

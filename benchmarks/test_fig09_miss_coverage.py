@@ -7,7 +7,7 @@ misses, AirBTB (under Confluence) ~93%, and a 16K-entry conventional BTB ~95%.
 from repro.analysis import format_table, miss_coverage_comparison
 
 
-def test_fig09_btb_miss_coverage(workloads, benchmark):
+def test_fig09_btb_miss_coverage(workloads, benchmark, shape_assertions):
     def run():
         rows = []
         for label, (program, trace) in workloads.items():
@@ -21,6 +21,8 @@ def test_fig09_btb_miss_coverage(workloads, benchmark):
     print(format_table(rows, columns,
                        title="Figure 9: fraction of 1K-BTB misses eliminated"))
 
+    if not shape_assertions:
+        return
     for row in rows:
         assert row["airbtb"] > row["phantombtb"]
         assert row["conventional_16k"] >= row["airbtb"] - 0.1

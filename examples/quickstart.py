@@ -1,45 +1,36 @@
 #!/usr/bin/env python
-"""Quickstart: build a server workload and compare Confluence to a baseline.
+"""Quickstart: one Session, three design points, one report.
 
-Runs a scaled-down OLTP workload through three frontend design points —
-the 1K-entry-BTB baseline, Confluence, and an ideal frontend — and prints
-speedups, MPKI and per-core area, i.e. a miniature version of the paper's
-headline comparison.
+A :class:`repro.Session` builds a scaled-down OLTP workload once and runs a
+design grid over it — here the 1K-entry-BTB baseline, Confluence, and an
+ideal frontend — returning a JSON-serializable report: a miniature version
+of the paper's headline comparison.
 """
 
-from repro import build_design, build_workload, get_profile
+from repro import Session
 from repro.core.metrics import fraction_of_ideal
 
 
 def main() -> None:
-    profile = get_profile("oltp_db2").scaled(0.4)
+    session = Session(profile="oltp_db2", scale=0.4, cores=1,
+                      instructions_per_core=250_000)
+    profile = session.profile
     print(f"Synthesizing workload '{profile.name}' "
           f"(~{profile.approximate_footprint_kb:.0f} KB instruction footprint)...")
-    program, trace = build_workload(profile, instructions=250_000)
-    stats = trace.statistics()
-    print(f"  trace: {stats.instruction_count} instructions, "
-          f"{stats.unique_blocks} unique blocks, "
-          f"{stats.unique_taken_branches} unique taken branches\n")
 
-    results = {}
-    areas = {}
-    for design in ("baseline", "confluence", "ideal"):
-        simulator, area = build_design(design, program)
-        results[design] = simulator.run(trace)
-        areas[design] = area
+    report = session.run(["baseline", "confluence", "ideal"])
 
-    base = results["baseline"]
-    ideal_speedup = results["ideal"].speedup_over(base)
     print(f"{'design':<12} {'speedup':>8} {'BTB MPKI':>9} {'L1-I MPKI':>10} {'area mm^2':>10}")
-    for design, result in results.items():
-        print(f"{design:<12} {result.speedup_over(base):>8.3f} {result.btb_mpki:>9.2f} "
-              f"{result.l1i_mpki:>10.2f} {areas[design].total_mm2:>10.3f}")
+    for design in report.designs:
+        row = report[design]
+        print(f"{design:<12} {row['speedup']:>8.3f} {row['btb_mpki']:>9.2f} "
+              f"{row['l1i_mpki']:>10.2f} {row['area_mm2']:>10.3f}")
 
-    confluence_speedup = results["confluence"].speedup_over(base)
-    print(f"\nConfluence captures "
-          f"{100 * fraction_of_ideal(confluence_speedup, ideal_speedup):.0f}% of the ideal "
-          f"frontend's improvement at "
-          f"{100 * areas['confluence'].fraction_of_core:.1f}% core area overhead.")
+    captured = fraction_of_ideal(report.speedup("confluence"), report.speedup("ideal"))
+    area_fraction = report["confluence"]["area_fraction_of_core"]
+    print(f"\nConfluence captures {100 * captured:.0f}% of the ideal frontend's "
+          f"improvement at {100 * area_fraction:.1f}% core area overhead.")
+    print("\nThe whole report is plain data; archive it with report.to_json().")
 
 
 if __name__ == "__main__":

@@ -2,33 +2,32 @@
 """Scale-out CMP study: shared instruction-supply metadata across cores.
 
 Simulates a few cores of the 16-core CMP running the media-streaming
-workload.  All cores share one SHIFT history (virtualized in the LLC); only
-core 0 records it, the others replay it — the sharing that lets Confluence
-amortize its metadata across the chip.
+workload through the Session facade.  All cores share one SHIFT history
+(virtualized in the LLC); only core 0 records it, the others replay it — the
+sharing that lets Confluence amortize its metadata across the chip.  The
+replaying cores are fanned out across worker processes (``workers=2``),
+which produces bit-identical results to the serial path.
 """
 
-from repro import ChipMultiprocessor, get_profile, synthesize_program
+from repro import Session
 
 
 def main() -> None:
-    profile = get_profile("media_streaming").scaled(0.35)
-    program = synthesize_program(profile)
-    cmp_model = ChipMultiprocessor(program, cores=4, instructions_per_core=120_000)
-
-    print(f"Simulating a {cmp_model.cores}-core slice of the CMP on '{profile.name}'...\n")
-    baseline = cmp_model.run_design("baseline")
-    two_level = cmp_model.run_design("2level_shift")
-    confluence = cmp_model.run_design("confluence")
+    session = Session(profile="media_streaming", scale=0.35, cores=4,
+                      instructions_per_core=120_000, workers=2)
+    print(f"Simulating a {session.cores}-core slice of the CMP on "
+          f"'{session.profile.name}'...\n")
+    report = session.run(["baseline", "2level_shift", "confluence"])
 
     print(f"{'design':<16} {'throughput (IPC)':>17} {'speedup':>9} {'BTB MPKI':>9} {'L1-I MPKI':>10}")
-    for result in (baseline, two_level, confluence):
-        print(f"{result.design:<16} {result.ipc:>17.3f} "
-              f"{result.speedup_over(baseline):>9.3f} "
-              f"{result.btb_mpki:>9.2f} {result.l1i_mpki:>10.2f}")
+    for design in report.designs:
+        row = report[design]
+        print(f"{design:<16} {row['ipc']:>17.3f} {row['speedup']:>9.3f} "
+              f"{row['btb_mpki']:>9.2f} {row['l1i_mpki']:>10.2f}")
 
-    saved = two_level.area.total_mm2 - confluence.area.total_mm2
-    print(f"\nPer-core area: Confluence {confluence.area.total_mm2:.3f} mm^2 vs "
-          f"2LevelBTB+SHIFT {two_level.area.total_mm2:.3f} mm^2 "
+    saved = report["2level_shift"]["area_mm2"] - report["confluence"]["area_mm2"]
+    print(f"\nPer-core area: Confluence {report['confluence']['area_mm2']:.3f} mm^2 vs "
+          f"2LevelBTB+SHIFT {report['2level_shift']['area_mm2']:.3f} mm^2 "
           f"(saves {saved:.3f} mm^2 per core, {16 * saved:.1f} mm^2 across the chip).")
 
 

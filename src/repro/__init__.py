@@ -9,19 +9,39 @@ The package is organised as the paper's system is:
 * :mod:`repro.branch` — direction predictors, RAS, indirect cache and the
   BTB designs Confluence is compared against.
 * :mod:`repro.prefetch` — FDP and SHIFT instruction prefetchers.
+* :mod:`repro.registry` — pluggable component registries (BTBs and
+  prefetchers self-register; user code can add its own).
 * :mod:`repro.core` — the contribution: AirBTB, Confluence, the frontend
-  timing model, design-point factories, the area model and the CMP driver.
+  timing model, the declarative :class:`DesignSpec` catalog, the area model
+  and the CMP driver.
 * :mod:`repro.analysis` — experiment harnesses that regenerate every table
   and figure of the paper's evaluation.
+* :mod:`repro.api` — the :class:`Session` facade: build a workload once, run
+  a design grid (optionally across worker processes), get a
+  JSON-serializable :class:`RunReport`.
 
 Quickstart::
 
-    from repro import build_workload, build_design, get_profile
+    from repro import Session
 
-    program, trace = build_workload(get_profile("oltp_db2").scaled(0.25))
-    confluence, area = build_design("confluence", program)
-    baseline, _ = build_design("baseline", program)
-    speedup = confluence.run(trace).speedup_over(baseline.run(trace))
+    session = Session(profile="oltp_db2", scale=0.25, cores=4)
+    report = session.run(["baseline", "confluence", "ideal"])
+    print(report["confluence"]["speedup"], report["confluence"]["btb_mpki"])
+    print(report.to_json(indent=2))  # archive / diff / post-process
+
+Custom design points are data plus (optionally) a registered component::
+
+    from repro import DesignSpec, register_design_point
+
+    register_design_point(DesignSpec(
+        name="fat_baseline", label="4K BTB", btb="conventional",
+        prefetcher="none", btb_params={"entries": 4096, "victim_entries": 64},
+    ))
+    report = session.run(["baseline", "fat_baseline"])
+
+The lower-level factory API (:func:`build_design`,
+:class:`ChipMultiprocessor`) remains available for single-simulator studies;
+see ``examples/`` for both styles.
 """
 
 from repro.workloads import (
@@ -34,20 +54,34 @@ from repro.workloads import (
     get_profile,
     synthesize_program,
 )
+from repro.registry import (
+    BTB_REGISTRY,
+    PREFETCHER_REGISTRY,
+    BuildContext,
+    build_btb,
+    build_prefetcher,
+)
 from repro.core import (
     AirBTB,
     AirBTBConfig,
     ChipMultiprocessor,
+    CMPResult,
     Confluence,
     ConfluenceConfig,
     DESIGN_POINTS,
+    DesignPoint,
+    DesignSpec,
     FrontendConfig,
     FrontendResult,
     FrontendSimulator,
     build_design,
+    design_from_spec,
+    register_design_point,
+    resolve_design,
 )
+from repro.api import RunReport, Session, run_grid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -59,14 +93,28 @@ __all__ = [
     "generate_trace",
     "get_profile",
     "synthesize_program",
+    "BTB_REGISTRY",
+    "PREFETCHER_REGISTRY",
+    "BuildContext",
+    "build_btb",
+    "build_prefetcher",
     "AirBTB",
     "AirBTBConfig",
     "ChipMultiprocessor",
+    "CMPResult",
     "Confluence",
     "ConfluenceConfig",
     "DESIGN_POINTS",
+    "DesignPoint",
+    "DesignSpec",
     "FrontendConfig",
     "FrontendResult",
     "FrontendSimulator",
     "build_design",
+    "design_from_spec",
+    "register_design_point",
+    "resolve_design",
+    "RunReport",
+    "Session",
+    "run_grid",
 ]

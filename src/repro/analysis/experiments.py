@@ -3,31 +3,39 @@
 Every function takes an already-built workload (program + trace) so callers
 control the scale: the benchmark harness uses full-size workloads, the tests
 use small scaled-down ones.
+
+Sweeps are data: each variant is a :class:`~repro.core.designs.DesignSpec`
+derived from the catalog with parameter overrides, run through the same
+spec-driven construction path (:func:`~repro.core.designs.design_from_spec`)
+as everything else.  Bare-BTB studies build their components through
+:func:`repro.registry.build_btb`, so a custom registered BTB can join any
+sweep without new harness code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.branch.btb_base import BaseBTB
-from repro.branch.btb_conventional import ConventionalBTB
-from repro.branch.btb_phantom import PhantomBTB
-from repro.branch.unit import BranchPredictionUnit
-from repro.caches.l1i import InstructionCache
-from repro.caches.llc import SharedLLC
-from repro.core.airbtb import AirBTB, AirBTBConfig
 from repro.core.area import FrontendAreaReport
-from repro.core.confluence import Confluence
-from repro.core.designs import build_design
-from repro.core.frontend import FrontendConfig, FrontendResult, FrontendSimulator
+from repro.core.designs import (
+    DesignSpec,
+    design_from_spec,
+    resolve_design,
+)
+from repro.core.frontend import FrontendConfig, FrontendResult
 from repro.core.metrics import miss_coverage, mpki
-from repro.isa.instruction import block_address
+from repro.registry import build_btb
 from repro.workloads.cfg import SyntheticProgram
 from repro.workloads.trace import Trace
 
 #: Default fraction of the trace used to warm structures before measuring.
 DEFAULT_WARMUP_FRACTION = 0.2
+
+#: Spec of the 1K-entry + victim-buffer BTB every coverage study is
+#: normalized against (the paper's baseline).
+BASELINE_BTB = "conventional_1k"
 
 
 # --------------------------------------------------------------------------- #
@@ -62,6 +70,13 @@ def run_btb_coverage(
     return taken_misses, instructions
 
 
+def _baseline_coverage(
+    trace: Trace, warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+) -> Tuple[int, int]:
+    """Taken misses + measured instructions of the baseline BTB."""
+    return run_btb_coverage(build_btb(BASELINE_BTB), trace, warmup_fraction)
+
+
 def btb_capacity_sweep(
     trace: Trace,
     capacities: Sequence[int] = (1024, 2048, 4096, 8192, 16384, 32768),
@@ -70,7 +85,7 @@ def btb_capacity_sweep(
     """Figure 1: BTB MPKI as a function of conventional BTB capacity."""
     series: Dict[int, float] = {}
     for capacity in capacities:
-        btb = ConventionalBTB(entries=capacity, victim_entries=0)
+        btb = build_btb("conventional", entries=capacity, victim_entries=0)
         misses, instructions = run_btb_coverage(btb, trace, warmup_fraction)
         series[capacity] = mpki(misses, instructions)
     return series
@@ -121,20 +136,24 @@ class DesignOutcome:
 def frontend_comparison(
     program: SyntheticProgram,
     trace: Trace,
-    designs: Sequence[str],
+    designs: Sequence[Union[str, DesignSpec]],
     frontend_config: Optional[FrontendConfig] = None,
 ) -> Dict[str, DesignOutcome]:
     """Run a set of design points on one workload (Figures 2, 6 and 7).
 
-    Each design point gets private structures (one core's view); SHIFT-based
-    designs each get their own history warmed by the same trace, which is
-    equivalent to the steady-state shared history of the CMP.
+    ``designs`` may mix catalog names and ad-hoc specs.  Each design point
+    gets private structures (one core's view); SHIFT-based designs each get
+    their own history warmed by the same trace, which is equivalent to the
+    steady-state shared history of the CMP.
     """
     outcomes: Dict[str, DesignOutcome] = {}
-    for name in designs:
-        simulator, area = build_design(name, program, frontend_config=frontend_config)
+    for design in designs:
+        spec = resolve_design(design)
+        simulator, area = design_from_spec(
+            spec, program, frontend_config=frontend_config
+        )
         result = simulator.run(trace)
-        outcomes[name] = DesignOutcome(design=name, result=result, area=area)
+        outcomes[spec.name] = DesignOutcome(design=spec.name, result=result, area=area)
     return outcomes
 
 
@@ -160,33 +179,31 @@ def performance_area_frontier(
 # AirBTB coverage studies (Figures 8, 9, 10)
 # --------------------------------------------------------------------------- #
 
-def _run_confluence_coverage(
+def confluence_variant(
+    name: str,
+    synchronized: bool = True,
+    **airbtb_params,
+) -> DesignSpec:
+    """A Confluence design-spec variant with AirBTB parameter overrides.
+
+    The building block of the Figure 8/10 studies: each studied
+    configuration is one spec, so sweeps are data.
+    """
+    return resolve_design("confluence").derive(
+        name,
+        btb_params={"synchronized": synchronized, **airbtb_params},
+    )
+
+
+def run_design_coverage(
+    design: Union[str, DesignSpec],
     program: SyntheticProgram,
     trace: Trace,
-    airbtb_config: AirBTBConfig,
-    synchronized: bool = True,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
 ) -> Tuple[int, int]:
-    """Measure AirBTB taken-branch misses inside a Confluence frontend."""
-    llc = SharedLLC()
-    l1i = InstructionCache()
-    from repro.core.confluence import ConfluenceConfig
-
-    confluence = Confluence(
-        image=program.image,
-        l1i=l1i,
-        llc=llc,
-        config=ConfluenceConfig(airbtb=airbtb_config),
-    )
-    confluence.airbtb.synchronized = synchronized
-    simulator = FrontendSimulator(
-        bpu=BranchPredictionUnit(confluence.airbtb),
-        l1i=l1i,
-        llc=llc,
-        prefetcher=confluence.prefetcher,
-        confluence=confluence,
-        design_name="confluence",
-    )
+    """Measure a full design point's BTB taken misses on one workload."""
+    spec = resolve_design(design)
+    simulator, _ = design_from_spec(spec, program)
     result = simulator.run(trace, warmup_fraction=warmup_fraction)
     return result.btb_taken_misses, result.instructions
 
@@ -203,38 +220,29 @@ def airbtb_ablation(
     eager (spatial-locality) insertion, prefetcher-driven insertion, and full
     block-based organization (content synchronization with the L1-I).
     """
-    baseline_btb = ConventionalBTB(entries=1024, victim_entries=64)
-    baseline_misses, instructions = run_btb_coverage(baseline_btb, trace, warmup_fraction)
+    baseline_misses, instructions = _baseline_coverage(trace, warmup_fraction)
 
-    config = AirBTBConfig()
-    # Step 1 — Capacity: block-based organization, demand insertion only.
-    capacity_btb = AirBTB(
-        config=AirBTBConfig(insertion_policy="demand"), block_provider=program.image.block_at
-    )
+    # Steps 1 and 2 drive a standalone AirBTB (no prefetcher around it);
+    # steps 3 and 4 are full Confluence design points.
+    capacity_btb = build_btb("airbtb_standalone", program=program, insertion_policy="demand")
     capacity_misses, _ = run_btb_coverage(capacity_btb, trace, warmup_fraction)
 
-    # Step 2 — Spatial locality: eager whole-block insertion on a miss.
-    spatial_btb = AirBTB(config=config, block_provider=program.image.block_at)
+    spatial_btb = build_btb("airbtb_standalone", program=program)
     spatial_misses, _ = run_btb_coverage(spatial_btb, trace, warmup_fraction)
 
-    # Step 3 — Prefetching: bundles are installed by the stream prefetcher
-    # ahead of the fetch stream (AirBTB still privately managed, LRU).
-    prefetch_misses, _ = _run_confluence_coverage(
-        program, trace, config, synchronized=False, warmup_fraction=warmup_fraction
-    )
-
-    # Step 4 — Block-based organization: content synchronized with the L1-I.
-    synced_misses, _ = _run_confluence_coverage(
-        program, trace, config, synchronized=True, warmup_fraction=warmup_fraction
-    )
-
-    return {
+    steps = {
+        "prefetching": confluence_variant("airbtb_unsynced", synchronized=False),
+        "block_based_org": confluence_variant("airbtb_synced", synchronized=True),
+    }
+    coverage = {
         "capacity": miss_coverage(baseline_misses, capacity_misses),
         "spatial_locality": miss_coverage(baseline_misses, spatial_misses),
-        "prefetching": miss_coverage(baseline_misses, prefetch_misses),
-        "block_based_org": miss_coverage(baseline_misses, synced_misses),
-        "baseline_mpki": mpki(baseline_misses, instructions),
     }
+    for step, spec in steps.items():
+        misses, _ = run_design_coverage(spec, program, trace, warmup_fraction)
+        coverage[step] = miss_coverage(baseline_misses, misses)
+    coverage["baseline_mpki"] = mpki(baseline_misses, instructions)
+    return coverage
 
 
 def miss_coverage_comparison(
@@ -243,17 +251,16 @@ def miss_coverage_comparison(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
 ) -> Dict[str, float]:
     """Figure 9: misses eliminated by PhantomBTB, AirBTB and a 16K BTB."""
-    baseline_btb = ConventionalBTB(entries=1024, victim_entries=64)
-    baseline_misses, _ = run_btb_coverage(baseline_btb, trace, warmup_fraction)
+    baseline_misses, _ = _baseline_coverage(trace, warmup_fraction)
 
-    phantom = PhantomBTB()
+    phantom = build_btb("phantom")
     phantom_misses, _ = run_btb_coverage(phantom, trace, warmup_fraction)
 
-    airbtb_misses, _ = _run_confluence_coverage(
-        program, trace, AirBTBConfig(), synchronized=True, warmup_fraction=warmup_fraction
+    airbtb_misses, _ = run_design_coverage(
+        confluence_variant("airbtb_synced"), program, trace, warmup_fraction
     )
 
-    big_btb = ConventionalBTB(entries=16 * 1024)
+    big_btb = build_btb("conventional", entries=16 * 1024)
     big_misses, _ = run_btb_coverage(big_btb, trace, warmup_fraction)
 
     return {
@@ -270,17 +277,23 @@ def airbtb_sensitivity(
     overflow_sizes: Sequence[int] = (0, 32),
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
 ) -> Dict[Tuple[int, int], float]:
-    """Figure 10: AirBTB miss coverage vs bundle and overflow buffer sizing."""
-    baseline_btb = ConventionalBTB(entries=1024, victim_entries=64)
-    baseline_misses, _ = run_btb_coverage(baseline_btb, trace, warmup_fraction)
+    """Figure 10: AirBTB miss coverage vs bundle and overflow buffer sizing.
+
+    The sweep is a grid of derived specs; add a point by adding a value to
+    either axis.
+    """
+    baseline_misses, _ = _baseline_coverage(trace, warmup_fraction)
+    grid: Dict[Tuple[int, int], DesignSpec] = {
+        (branches, overflow): confluence_variant(
+            f"airbtb_b{branches}_ob{overflow}",
+            branch_entries_per_bundle=branches,
+            overflow_entries=overflow,
+        )
+        for branches in bundle_sizes
+        for overflow in overflow_sizes
+    }
     results: Dict[Tuple[int, int], float] = {}
-    for branches in bundle_sizes:
-        for overflow in overflow_sizes:
-            config = AirBTBConfig(
-                branch_entries_per_bundle=branches, overflow_entries=overflow
-            )
-            misses, _ = _run_confluence_coverage(
-                program, trace, config, synchronized=True, warmup_fraction=warmup_fraction
-            )
-            results[(branches, overflow)] = miss_coverage(baseline_misses, misses)
+    for key, spec in grid.items():
+        misses, _ = run_design_coverage(spec, program, trace, warmup_fraction)
+        results[key] = miss_coverage(baseline_misses, misses)
     return results

@@ -1,0 +1,253 @@
+"""High-level experiment API: the :class:`Session` facade and run reports.
+
+One line builds a workload and runs a design grid::
+
+    from repro import Session
+
+    report = Session(profile="oltp_db2", scale=0.25, cores=16).run(
+        ["baseline", "confluence"]
+    )
+    print(report["confluence"]["speedup"])
+
+A :class:`Session` owns one workload: the synthetic program is synthesized
+once and cached, and every per-core trace is generated once, so running many
+design points amortizes the (comparatively expensive) workload construction.
+Per-core simulation can be fanned out across worker processes with
+``workers=N`` (opt-in; the serial default preserves seed determinism, and the
+parallel path is bit-identical to it anyway).
+
+The result is a :class:`RunReport` of plain data — JSON-serializable both
+ways — so sweeps can be archived, diffed and post-processed without keeping
+simulator objects alive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.cmp import ChipMultiprocessor, CMPResult
+from repro.core.designs import DesignSpec, resolve_design
+from repro.core.frontend import FrontendConfig
+from repro.workloads.cfg import SyntheticProgram, synthesize_program
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+__all__ = ["Session", "RunReport", "run_grid"]
+
+
+@dataclass
+class RunReport:
+    """JSON-serializable outcome of one :meth:`Session.run`.
+
+    ``results`` maps design name to a flat summary dict (instructions,
+    cycles, ipc, mpki, speedup against ``baseline``, area).  The ``order``
+    list preserves the caller's design order for table rendering.
+    """
+
+    profile: str
+    scale: float
+    cores: int
+    instructions_per_core: int
+    baseline: Optional[str]
+    order: List[str] = field(default_factory=list)
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __getitem__(self, design: str) -> Dict[str, object]:
+        return self.results[design]
+
+    def __contains__(self, design: str) -> bool:
+        return design in self.results
+
+    @property
+    def designs(self) -> List[str]:
+        return list(self.order)
+
+    def speedup(self, design: str, baseline: Optional[str] = None) -> float:
+        """Speedup of ``design`` over ``baseline`` (the report's by default)."""
+        reference = baseline if baseline is not None else self.baseline
+        if reference is None:
+            raise ValueError("report has no baseline design; pass one explicitly")
+        base_ipc = float(self.results[reference]["ipc"])
+        if base_ipc == 0:
+            return 0.0
+        return float(self.results[design]["ipc"]) / base_ipc
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "scale": self.scale,
+            "cores": self.cores,
+            "instructions_per_core": self.instructions_per_core,
+            "baseline": self.baseline,
+            "order": list(self.order),
+            "results": {name: dict(summary) for name, summary in self.results.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunReport":
+        return cls(
+            profile=data["profile"],
+            scale=data["scale"],
+            cores=data["cores"],
+            instructions_per_core=data["instructions_per_core"],
+            baseline=data["baseline"],
+            order=list(data["order"]),
+            results={name: dict(summary) for name, summary in data["results"].items()},
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+
+def _summarize(result: CMPResult, spec: DesignSpec, cores: int) -> Dict[str, object]:
+    """Flatten one CMP result into plain JSON-compatible data."""
+    summary: Dict[str, object] = {
+        "design": result.design,
+        "label": spec.label,
+        "workload": result.workload,
+        "cores": cores,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "btb_mpki": result.btb_mpki,
+        "l1i_mpki": result.l1i_mpki,
+        "core_ipc": [core.ipc for core in result.core_results],
+    }
+    if result.area is not None:
+        summary["area_mm2"] = result.area.total_mm2
+        summary["area_fraction_of_core"] = result.area.fraction_of_core
+        summary["area_components_mm2"] = dict(result.area.components_mm2)
+    return summary
+
+
+class Session:
+    """One workload, many designs: build once, run a design grid.
+
+    Args:
+        profile: workload profile name (``"oltp_db2"``) or a
+            :class:`~repro.workloads.profiles.WorkloadProfile` instance.
+        scale: footprint/trace-length scale factor applied to the profile.
+        cores: CMP cores to simulate per design.
+        instructions_per_core: trace length per core (profile default if
+            omitted).
+        frontend_config: timing-model overrides shared by all designs.
+        trace_seed_base: per-core trace seeds are ``base + core``.
+        workers: default process-pool width for :meth:`run` (``None``/1 =
+            serial, the deterministic default; results are identical either
+            way, parallelism only buys wall-clock).
+    """
+
+    def __init__(
+        self,
+        profile: Union[str, WorkloadProfile] = "oltp_db2",
+        scale: float = 1.0,
+        cores: int = 16,
+        instructions_per_core: Optional[int] = None,
+        frontend_config: Optional[FrontendConfig] = None,
+        trace_seed_base: int = 100,
+        workers: Optional[int] = None,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        if scale != 1.0:
+            profile = profile.scaled(scale)
+        self.profile = profile
+        self.scale = scale
+        self.cores = cores
+        self.instructions_per_core = (
+            instructions_per_core or profile.recommended_trace_instructions
+        )
+        self.frontend_config = frontend_config
+        self.trace_seed_base = trace_seed_base
+        self.workers = workers
+        self._program: Optional[SyntheticProgram] = None
+        self._cmp: Optional[ChipMultiprocessor] = None
+
+    @property
+    def program(self) -> SyntheticProgram:
+        """The synthesized workload program (built once, then cached)."""
+        if self._program is None:
+            self._program = synthesize_program(self.profile)
+        return self._program
+
+    @property
+    def cmp(self) -> ChipMultiprocessor:
+        """The CMP driver behind this session (traces cached inside)."""
+        if self._cmp is None:
+            self._cmp = ChipMultiprocessor(
+                self.program,
+                cores=self.cores,
+                instructions_per_core=self.instructions_per_core,
+                frontend_config=self.frontend_config,
+                trace_seed_base=self.trace_seed_base,
+                workers=self.workers,
+            )
+        return self._cmp
+
+    def run(
+        self,
+        designs: Union[str, DesignSpec, Sequence[Union[str, DesignSpec]]],
+        baseline: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> RunReport:
+        """Run a set of design points and return a :class:`RunReport`.
+
+        ``designs`` may mix catalog names and ad-hoc :class:`DesignSpec`
+        instances.  ``baseline`` names the speedup reference; it defaults to
+        ``"baseline"`` when present, else the first design.
+        """
+        if isinstance(designs, (str, DesignSpec)):
+            designs = [designs]
+        specs = [resolve_design(design) for design in designs]
+        if not specs:
+            raise ValueError("no designs given")
+        names = [spec.name for spec in specs]
+        if baseline is None:
+            baseline = "baseline" if "baseline" in names else names[0]
+        elif baseline not in names:
+            raise ValueError(
+                f"baseline {baseline!r} is not among the designs: {', '.join(names)}"
+            )
+
+        report = RunReport(
+            profile=self.profile.name,
+            scale=self.scale,
+            cores=self.cores,
+            instructions_per_core=self.instructions_per_core,
+            baseline=baseline,
+            order=names,
+        )
+        results = {
+            spec.name: self.cmp.run_design(spec, workers=workers)
+            for spec in specs
+        }
+        base_ipc = results[baseline].ipc
+        for spec in specs:
+            summary = _summarize(results[spec.name], spec, self.cores)
+            summary["speedup"] = (
+                results[spec.name].ipc / base_ipc if base_ipc else 0.0
+            )
+            report.results[spec.name] = summary
+        return report
+
+
+def run_grid(
+    profiles: Iterable[Union[str, WorkloadProfile]],
+    designs: Sequence[Union[str, DesignSpec]],
+    **session_kwargs,
+) -> Dict[str, RunReport]:
+    """Run a workload x design grid: one :class:`Session` per profile.
+
+    Any :class:`Session` keyword argument (scale, cores, workers, ...) applies
+    to every cell.  Returns ``{profile name: RunReport}``.
+    """
+    reports: Dict[str, RunReport] = {}
+    for profile in profiles:
+        session = Session(profile=profile, **session_kwargs)
+        reports[session.profile.name] = session.run(designs)
+    return reports

@@ -21,6 +21,10 @@ from typing import Optional
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult, BTBStats
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BranchKind
+from repro.registry import BTB_REGISTRY, BuildContext
+
+#: Bits per victim-buffer entry: full tag, target displacement, type, valid.
+_VICTIM_ENTRY_BITS = 48 + 30 + 2 + 1
 
 
 def conventional_entry_bits(entries: int, ways: int = 4, address_bits: int = 48) -> int:
@@ -30,6 +34,17 @@ def conventional_entry_bits(entries: int, ways: int = 4, address_bits: int = 48)
     tag_bits = address_bits - index_bits - 2  # minus 4-byte instruction alignment
     payload_bits = 30 + 2 + 4  # target displacement, type, fall-through length
     return tag_bits + payload_bits + 1  # +1 valid bit
+
+
+def conventional_storage_kb(entries: int, ways: int = 4, victim_entries: int = 0) -> float:
+    """Storage of a conventional BTB geometry, without instantiating one.
+
+    Pure arithmetic on the geometry, so area accounting (e.g. a perfect BTB
+    priced at the baseline's storage) never needs a shadow instance.
+    """
+    bits = entries * conventional_entry_bits(entries, ways)
+    bits += victim_entries * _VICTIM_ENTRY_BITS
+    return bits / 8 / 1024
 
 
 class ConventionalBTB(BaseBTB):
@@ -103,10 +118,7 @@ class ConventionalBTB(BaseBTB):
 
     @property
     def storage_kb(self) -> float:
-        bits = self.entries * conventional_entry_bits(self.entries, self.ways)
-        if self._victim is not None:
-            bits += self.victim_entries * (48 + 30 + 2 + 1)
-        return bits / 8 / 1024
+        return conventional_storage_kb(self.entries, self.ways, self.victim_entries)
 
 
 class PerfectBTB(BaseBTB):
@@ -135,3 +147,35 @@ class PerfectBTB(BaseBTB):
     @property
     def storage_kb(self) -> float:
         return float("inf")
+
+
+# --------------------------------------------------------------------------- #
+# Registry factories
+# --------------------------------------------------------------------------- #
+
+@BTB_REGISTRY.register("conventional")
+def _build_conventional(ctx: BuildContext, **params) -> ConventionalBTB:
+    """Generic conventional BTB; geometry comes entirely from the spec."""
+    return ConventionalBTB(**params)
+
+
+@BTB_REGISTRY.register("conventional_1k")
+def _build_conventional_1k(ctx: BuildContext, **params) -> ConventionalBTB:
+    """The paper's baseline: 1K entries plus a 64-entry victim buffer."""
+    params.setdefault("entries", 1024)
+    params.setdefault("victim_entries", 64)
+    return ConventionalBTB(**params)
+
+
+@BTB_REGISTRY.register("ideal_16k")
+def _build_ideal_16k(ctx: BuildContext, **params) -> ConventionalBTB:
+    """16K entries at first-level latency (the IdealBTB of Figure 7)."""
+    params.setdefault("entries", 16 * 1024)
+    params.setdefault("latency_cycles", 1)
+    params.setdefault("name", "ideal_btb_16k")
+    return ConventionalBTB(**params)
+
+
+@BTB_REGISTRY.register("perfect")
+def _build_perfect(ctx: BuildContext, **params) -> PerfectBTB:
+    return PerfectBTB(**params)

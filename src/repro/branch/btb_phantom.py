@@ -30,6 +30,7 @@ from repro.branch.btb_conventional import conventional_entry_bits
 from repro.caches.llc import SharedLLC
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BranchKind
+from repro.registry import BTB_REGISTRY, BuildContext
 
 #: Instructions per temporal-group tag region (Section 4.2.2).
 _REGION_INSTRUCTIONS = 32
@@ -169,3 +170,10 @@ class PhantomBTB(BaseBTB):
     def virtualized_kb(self) -> float:
         """LLC footprint of the temporal groups (not dedicated storage)."""
         return self.group_capacity * 64 / 1024
+
+
+@BTB_REGISTRY.register("phantom")
+def _build_phantom(ctx: BuildContext, **params) -> PhantomBTB:
+    """PhantomBTB virtualizes its temporal groups in the context's LLC."""
+    params.setdefault("llc", ctx.llc)
+    return PhantomBTB(**params)

@@ -16,6 +16,7 @@ from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.branch.btb_conventional import conventional_entry_bits
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BranchKind
+from repro.registry import BTB_REGISTRY, BuildContext
 
 
 class TwoLevelBTB(BaseBTB):
@@ -80,3 +81,8 @@ class TwoLevelBTB(BaseBTB):
     @property
     def second_level_storage_kb(self) -> float:
         return self.l2_entries * conventional_entry_bits(self.l2_entries, self.ways) / 8 / 1024
+
+
+@BTB_REGISTRY.register("two_level")
+def _build_two_level(ctx: BuildContext, **params) -> TwoLevelBTB:
+    return TwoLevelBTB(**params)

@@ -9,13 +9,14 @@
   evictions keep the two structures synchronized.
 * :class:`~repro.core.frontend.FrontendSimulator` — the trace-driven frontend
   timing model used to compare all design points.
-* :mod:`~repro.core.designs` — factory functions for every named design point
-  in the evaluation (FDP, PhantomBTB+FDP, 2LevelBTB+FDP, 2LevelBTB+SHIFT,
-  Confluence, Ideal, ...).
+* :mod:`~repro.core.designs` — the declarative :class:`DesignSpec`, the
+  mutable design-point catalog and the registry-driven construction path for
+  every named design point in the evaluation (FDP, PhantomBTB+FDP,
+  2LevelBTB+FDP, 2LevelBTB+SHIFT, Confluence, Ideal, ...).
 * :mod:`~repro.core.area` — the storage/area model calibrated to the paper's
   CACTI numbers.
 * :class:`~repro.core.cmp.ChipMultiprocessor` — the 16-core CMP wrapper with
-  a shared SHIFT history.
+  a shared SHIFT history and an opt-in parallel core runner.
 """
 
 from repro.core.airbtb import AirBTB, AirBTBConfig
@@ -23,7 +24,15 @@ from repro.core.confluence import Confluence, ConfluenceConfig
 from repro.core.frontend import FrontendConfig, FrontendResult, FrontendSimulator
 from repro.core.area import AreaModel, FrontendAreaReport
 from repro.core.metrics import mpki, miss_coverage, speedup
-from repro.core.designs import DesignPoint, build_design, DESIGN_POINTS
+from repro.core.designs import (
+    DESIGN_POINTS,
+    DesignPoint,
+    DesignSpec,
+    build_design,
+    design_from_spec,
+    register_design_point,
+    resolve_design,
+)
 from repro.core.cmp import ChipMultiprocessor, CMPResult
 
 __all__ = [
@@ -40,7 +49,11 @@ __all__ = [
     "miss_coverage",
     "speedup",
     "DesignPoint",
+    "DesignSpec",
     "build_design",
+    "design_from_spec",
+    "register_design_point",
+    "resolve_design",
     "DESIGN_POINTS",
     "ChipMultiprocessor",
     "CMPResult",

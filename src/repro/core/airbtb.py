@@ -33,6 +33,7 @@ from repro.caches.sram import SetAssociativeCache
 from repro.isa.block import InstructionBlock
 from repro.isa.instruction import BranchKind, block_address, block_offset
 from repro.isa.predecode import PredecodedBlock, Predecoder
+from repro.registry import BTB_REGISTRY, BuildContext
 
 #: A callback that returns the instruction block at a given block address
 #: (normally ``ProgramImage.block_at``); AirBTB predecodes through it.
@@ -275,3 +276,16 @@ class AirBTB(BaseBTB):
     @property
     def resident_bundles(self) -> int:
         return self._bundles.occupancy()
+
+
+@BTB_REGISTRY.register("airbtb_standalone")
+def _build_airbtb_standalone(ctx: BuildContext, **params) -> AirBTB:
+    """A bare AirBTB with internal LRU (no Confluence around it).
+
+    Used by component-level coverage studies (the Figure 8 capacity and
+    spatial-locality steps); the full design point uses the ``airbtb``
+    component, which wires in Confluence.
+    """
+    provider = ctx.program.image.block_at if ctx.program is not None else None
+    config = AirBTBConfig(**params) if params else None
+    return AirBTB(config=config, block_provider=provider)

@@ -12,18 +12,26 @@ for trace-driven simulation:
   it, exactly as in the paper, and
 * cores are simulated one after another (their only interaction is through
   the shared metadata, which is insensitive to fine-grain interleaving).
+
+Because the replaying cores (1..N-1) never write the shared metadata, they
+are independent given core 0's recorded history, and the driver can fan them
+out across worker processes (``workers=N``).  The parallel path reproduces
+the serial path bit for bit: core 0 always runs first in-process, its
+recorded history is snapshotted into each worker, and every core keeps its
+own deterministic trace seed.  The serial default is preserved.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.caches.llc import LLCConfig, SharedLLC
 from repro.core.area import FrontendAreaReport
-from repro.core.designs import DESIGN_POINTS, build_design
+from repro.core.designs import DesignSpec, design_from_spec, resolve_design
 from repro.core.frontend import FrontendConfig, FrontendResult
-from repro.core.metrics import arithmetic_mean, geometric_mean
 from repro.prefetch.shift import ShiftHistory
 from repro.workloads.cfg import SyntheticProgram
 from repro.workloads.generator import generate_trace
@@ -77,6 +85,37 @@ class CMPResult:
         return self.ipc / baseline.ipc
 
 
+def _replay_core(job) -> FrontendResult:
+    """Simulate one replaying core in a worker process.
+
+    The worker rebuilds its private surroundings (LLC with the same geometry,
+    hence the same round-trip latency, plus a replay-side clone of the shared
+    history); the only cross-core coupling in the serial path is the recorded
+    history and LLC statistics, and the statistics do not feed back into
+    timing, so the result is identical to the serial path's.
+    """
+    spec, program, trace, history_state, llc_config, frontend_config = job
+    llc = SharedLLC(llc_config)
+    shared_history = ShiftHistory.restore(history_state, llc=llc)
+    simulator, _ = design_from_spec(
+        spec,
+        program,
+        llc=llc,
+        shared_history=shared_history,
+        frontend_config=frontend_config,
+        record_history=False,
+    )
+    return simulator.run(trace)
+
+
+def _fork_context():
+    """Prefer fork so worker processes inherit user-registered components."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return None
+
+
 class ChipMultiprocessor:
     """Simulates ``cores`` instances of a workload under one design point."""
 
@@ -87,9 +126,12 @@ class ChipMultiprocessor:
         instructions_per_core: Optional[int] = None,
         frontend_config: Optional[FrontendConfig] = None,
         trace_seed_base: int = 100,
+        workers: Optional[int] = None,
     ) -> None:
         if cores <= 0:
             raise ValueError("a CMP needs at least one core")
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive when given")
         self.program = program
         self.profile: WorkloadProfile = program.profile
         self.cores = cores
@@ -98,6 +140,7 @@ class ChipMultiprocessor:
         )
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
+        self.workers = workers
         self._traces = None
 
     def _core_traces(self):
@@ -113,31 +156,86 @@ class ChipMultiprocessor:
             ]
         return self._traces
 
-    def run_design(self, design_name: str) -> CMPResult:
-        """Run every core under ``design_name`` with shared SHIFT history."""
-        if design_name not in DESIGN_POINTS:
-            known = ", ".join(sorted(DESIGN_POINTS))
-            raise KeyError(f"unknown design point {design_name!r}; known: {known}")
+    def _llc_config(self) -> LLCConfig:
         # The LLC is always the full chip's (16 slices): simulating fewer cores
         # samples the chip, it does not shrink the shared cache the virtualized
         # predictor metadata lives in.
-        llc = SharedLLC(LLCConfig(cores=max(self.cores, LLCConfig().cores)))
+        return LLCConfig(cores=max(self.cores, LLCConfig().cores))
+
+    def run_design(
+        self,
+        design: Union[str, DesignSpec],
+        workers: Optional[int] = None,
+    ) -> CMPResult:
+        """Run every core under ``design`` with shared SHIFT history.
+
+        ``workers`` (or the constructor's default) > 1 fans the replaying
+        cores out across processes; the default stays serial and the results
+        are identical either way.
+        """
+        spec = resolve_design(design)
+        workers = workers if workers is not None else self.workers
+        llc = SharedLLC(self._llc_config())
         shared_history = ShiftHistory(llc=llc)
-        result = CMPResult(design=design_name, workload=self.profile.name)
-        for core, trace in enumerate(self._core_traces()):
-            simulator, area = build_design(
-                design_name,
-                self.program,
-                llc=llc,
-                shared_history=shared_history,
-                frontend_config=self.frontend_config,
-                # Core 0 generates the shared history; the others consume it.
-                record_history=(core == 0),
-            )
-            result.core_results.append(simulator.run(trace))
-            if core == 0:
-                result.area = area
+        traces = self._core_traces()
+        result = CMPResult(design=spec.name, workload=self.profile.name)
+
+        # Core 0 always runs first, in-process: it records the shared history
+        # the other cores replay.
+        simulator, area = design_from_spec(
+            spec,
+            self.program,
+            llc=llc,
+            shared_history=shared_history,
+            frontend_config=self.frontend_config,
+            record_history=True,
+        )
+        result.core_results.append(simulator.run(traces[0]))
+        result.area = area
+
+        replay_traces = traces[1:]
+        if not replay_traces:
+            return result
+        if workers is not None and workers > 1:
+            # The history is immutable once core 0 finishes; one snapshot
+            # serves every replaying core.
+            history_state = shared_history.snapshot()
+            jobs = [
+                (
+                    spec,
+                    self.program,
+                    trace,
+                    history_state,
+                    self._llc_config(),
+                    self.frontend_config,
+                )
+                for trace in replay_traces
+            ]
+            pool_size = min(workers, len(jobs))
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=_fork_context()
+            ) as pool:
+                result.core_results.extend(pool.map(_replay_core, jobs))
+        else:
+            for trace in replay_traces:
+                simulator, _ = design_from_spec(
+                    spec,
+                    self.program,
+                    llc=llc,
+                    shared_history=shared_history,
+                    frontend_config=self.frontend_config,
+                    record_history=False,
+                )
+                result.core_results.append(simulator.run(trace))
         return result
 
-    def run_designs(self, design_names) -> Dict[str, CMPResult]:
-        return {name: self.run_design(name) for name in design_names}
+    def run_designs(
+        self,
+        designs: Iterable[Union[str, DesignSpec]],
+        workers: Optional[int] = None,
+    ) -> Dict[str, CMPResult]:
+        """Run a set of design points; returns ``{design name: CMPResult}``."""
+        return {
+            resolve_design(design).name: self.run_design(design, workers=workers)
+            for design in designs
+        }

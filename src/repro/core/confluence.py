@@ -24,6 +24,7 @@ from repro.core.airbtb import AirBTB, AirBTBConfig
 from repro.isa.block import ProgramImage
 from repro.isa.predecode import Predecoder
 from repro.prefetch.shift import ShiftConfig, ShiftHistory, ShiftPrefetcher
+from repro.registry import BTB_REGISTRY, BuildContext
 
 
 @dataclass(frozen=True)
@@ -107,3 +108,35 @@ class Confluence:
     def storage_kb(self) -> float:
         """Dedicated per-core storage added by Confluence (AirBTB only)."""
         return self.airbtb.storage_kb
+
+
+@BTB_REGISTRY.register("airbtb")
+def _build_airbtb(ctx: BuildContext, **params) -> AirBTB:
+    """AirBTB comes wrapped in a full Confluence instance.
+
+    ``params`` map onto :class:`~repro.core.airbtb.AirBTBConfig` fields, plus
+    ``synchronized`` (content synchronization with the L1-I, default True —
+    the Figure 8 ablation turns it off) and ``shift`` (a
+    :class:`~repro.prefetch.shift.ShiftConfig` override).  The assembled
+    :class:`Confluence` is deposited on ``ctx.confluence`` so the prefetcher
+    factory and the simulator wiring can reuse it.
+    """
+    if ctx.program is None:
+        raise ValueError("the 'airbtb' BTB needs a program image in the build context")
+    synchronized = params.pop("synchronized", True)
+    shift_config = params.pop("shift", None)
+    config = ConfluenceConfig(
+        airbtb=AirBTBConfig(**params),
+        shift=shift_config if shift_config is not None else ShiftConfig(),
+    )
+    confluence = Confluence(
+        image=ctx.program.image,
+        l1i=ctx.l1i,
+        shared_history=ctx.shared_history,
+        llc=ctx.llc,
+        config=config,
+        record_history=ctx.record_history,
+    )
+    confluence.airbtb.synchronized = synchronized
+    ctx.confluence = confluence
+    return confluence.airbtb

@@ -1,12 +1,15 @@
-"""Named frontend design points of the evaluation.
+"""Declarative design specs and the named design-point catalog.
 
-Each design point bundles a BTB design, an instruction prefetcher and the
-area accounting the paper attributes to that combination.  The factory
-returns a ready-to-run :class:`~repro.core.frontend.FrontendSimulator` plus
-its :class:`~repro.core.area.FrontendAreaReport`, so benchmarks, examples and
-the CMP driver all assemble design points the same way.
+A :class:`DesignSpec` names the BTB and prefetcher components of a frontend
+(by their registry names) and carries parameter overrides for each, so a
+design point is pure data: sweeps over BTB entries, bundle sizes or cache
+geometry are lists of specs, not bespoke factory code.  Construction resolves
+through :data:`repro.registry.BTB_REGISTRY` and
+:data:`repro.registry.PREFETCHER_REGISTRY`, so user code can register custom
+components and design points without touching this module.
 
-Design points (Sections 2.3, 4.2 and 5):
+The catalog ships the paper's evaluated design points
+(Sections 2.3, 4.2 and 5):
 
 ==================  =====================================  ==================
 name                BTB                                    instruction supply
@@ -21,32 +24,67 @@ name                BTB                                    instruction supply
 ``confluence``      AirBTB, synchronized with the L1-I     SHIFT (Confluence)
 ``ideal``           perfect BTB                            perfect L1-I
 ==================  =====================================  ==================
+
+Extending the catalog takes one call::
+
+    from repro import DesignSpec, register_design_point
+
+    register_design_point(DesignSpec(
+        name="fat_baseline", label="4K BTB", btb="conventional",
+        prefetcher="none", btb_params={"entries": 4096, "victim_entries": 64},
+    ))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple, Union
 
-from repro.branch.btb_conventional import ConventionalBTB, PerfectBTB
-from repro.branch.btb_phantom import PhantomBTB
-from repro.branch.btb_two_level import TwoLevelBTB
+from repro.branch.btb_conventional import conventional_storage_kb
 from repro.branch.unit import BranchPredictionUnit
 from repro.caches.l1i import InstructionCache
 from repro.caches.llc import SharedLLC
 from repro.core.area import AreaModel, FrontendAreaReport
-from repro.core.confluence import Confluence, ConfluenceConfig
 from repro.core.frontend import FrontendConfig, FrontendSimulator
-from repro.prefetch.base import NullPrefetcher
-from repro.prefetch.fdp import FetchDirectedPrefetcher
-from repro.prefetch.shift import ShiftHistory, ShiftPrefetcher
+from repro.prefetch.shift import ShiftHistory
+from repro.registry import (
+    BTB_REGISTRY,
+    PREFETCHER_REGISTRY,
+    BuildContext,
+    load_builtin_components,
+    unknown_name_error,
+)
 from repro.workloads.cfg import SyntheticProgram
+
+# Importing the built-in component modules populates the registries before
+# the catalog below names them.
+load_builtin_components()
 
 
 @dataclass(frozen=True)
-class DesignPoint:
-    """Descriptor of one named frontend configuration."""
+class DesignSpec:
+    """Declarative description of one frontend design point.
 
+    Attributes:
+        name: catalog key and the ``design_name`` reported by simulators.
+        label: human-readable label used in tables and figures.
+        btb: BTB component name in :data:`~repro.registry.BTB_REGISTRY`.
+        prefetcher: prefetcher component name in
+            :data:`~repro.registry.PREFETCHER_REGISTRY`.
+        btb_params: parameter overrides passed to the BTB factory.
+        prefetcher_params: parameter overrides for the prefetcher factory.
+        uses_shift: whether the design pays SHIFT's per-core area share.
+        perfect_l1i: model a perfect instruction cache.
+        perfect_btb: the BTB is an idealisation, not a real structure.
+        btb_storage_kb: explicit storage for area accounting.  ``None`` means
+            "ask the built BTB"; idealised designs (infinite storage) set it
+            to the storage they should be *priced* at — e.g. ``ideal`` carries
+            the baseline BTB's storage so relative-area plots stay anchored.
+    """
+
+    # Field order keeps positional construction compatible with the old
+    # DesignPoint(name, label, btb, prefetcher, uses_shift, ...) descriptor;
+    # the spec-only fields come after every inherited one.
     name: str
     label: str
     btb: str
@@ -54,113 +92,174 @@ class DesignPoint:
     uses_shift: bool = False
     perfect_l1i: bool = False
     perfect_btb: bool = False
+    btb_params: Mapping[str, object] = field(default_factory=dict)
+    prefetcher_params: Mapping[str, object] = field(default_factory=dict)
+    btb_storage_kb: Optional[float] = None
+
+    def derive(self, name: str, label: Optional[str] = None, **overrides) -> "DesignSpec":
+        """A renamed copy with parameter overrides merged in.
+
+        ``btb_params``/``prefetcher_params`` given here are merged over the
+        existing mappings; other keyword arguments replace spec fields.
+        """
+        merged = dict(overrides)
+        if "btb_params" in merged:
+            merged["btb_params"] = {**self.btb_params, **merged["btb_params"]}
+        if "prefetcher_params" in merged:
+            merged["prefetcher_params"] = {
+                **self.prefetcher_params,
+                **merged["prefetcher_params"],
+            }
+        return replace(self, name=name, label=label if label is not None else name, **merged)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-serializable for reports and configs)."""
+        return {
+            "name": self.name,
+            "label": self.label,
+            "btb": self.btb,
+            "prefetcher": self.prefetcher,
+            "btb_params": dict(self.btb_params),
+            "prefetcher_params": dict(self.prefetcher_params),
+            "uses_shift": self.uses_shift,
+            "perfect_l1i": self.perfect_l1i,
+            "perfect_btb": self.perfect_btb,
+            "btb_storage_kb": self.btb_storage_kb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DesignSpec":
+        return cls(**data)
 
 
-DESIGN_POINTS: Dict[str, DesignPoint] = {
-    point.name: point
-    for point in (
-        DesignPoint("baseline", "1K BTB (baseline)", "conventional_1k", "none"),
-        DesignPoint("fdp", "FDP", "conventional_1k", "fdp"),
-        DesignPoint("phantom_fdp", "PhantomBTB+FDP", "phantom", "fdp"),
-        DesignPoint("2level_fdp", "2LevelBTB+FDP", "two_level", "fdp"),
-        DesignPoint("phantom_shift", "PhantomBTB+SHIFT", "phantom", "shift", uses_shift=True),
-        DesignPoint("2level_shift", "2LevelBTB+SHIFT", "two_level", "shift", uses_shift=True),
-        DesignPoint(
+#: Backwards-compatible alias: the old descriptor type grew into the spec.
+DesignPoint = DesignSpec
+
+
+def _paper_design_points() -> Tuple[DesignSpec, ...]:
+    baseline_params: Dict[str, object] = {"entries": 1024, "victim_entries": 64}
+    return (
+        DesignSpec(
+            "baseline", "1K BTB (baseline)", "conventional", "none",
+            btb_params=baseline_params,
+        ),
+        DesignSpec(
+            "fdp", "FDP", "conventional", "fdp", btb_params=baseline_params
+        ),
+        DesignSpec("phantom_fdp", "PhantomBTB+FDP", "phantom", "fdp"),
+        DesignSpec("2level_fdp", "2LevelBTB+FDP", "two_level", "fdp"),
+        DesignSpec(
+            "phantom_shift", "PhantomBTB+SHIFT", "phantom", "shift", uses_shift=True
+        ),
+        DesignSpec(
+            "2level_shift", "2LevelBTB+SHIFT", "two_level", "shift", uses_shift=True
+        ),
+        DesignSpec(
             "idealbtb_shift", "IdealBTB+SHIFT", "ideal_16k", "shift", uses_shift=True
         ),
-        DesignPoint(
-            "confluence", "Confluence", "airbtb", "shift", uses_shift=True
-        ),
-        DesignPoint(
-            "ideal", "Ideal", "perfect", "perfect", perfect_l1i=True, perfect_btb=True
+        DesignSpec("confluence", "Confluence", "airbtb", "shift", uses_shift=True),
+        DesignSpec(
+            "ideal", "Ideal", "perfect", "perfect",
+            perfect_l1i=True, perfect_btb=True,
+            # Priced at the baseline BTB's storage (the paper's convention for
+            # the ideal core) straight from the area model — no shadow BTB.
+            btb_storage_kb=conventional_storage_kb(1024, ways=4, victim_entries=64),
         ),
     )
+
+
+#: Mutable catalog of named design points.  Extend via
+#: :func:`register_design_point` rather than writing to it directly.
+DESIGN_POINTS: Dict[str, DesignSpec] = {
+    spec.name: spec for spec in _paper_design_points()
 }
 
 
-def build_design(
-    name: str,
+def register_design_point(spec: DesignSpec, overwrite: bool = False) -> DesignSpec:
+    """Add ``spec`` to the catalog under ``spec.name``."""
+    if not overwrite and spec.name in DESIGN_POINTS:
+        raise ValueError(
+            f"design point {spec.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    DESIGN_POINTS[spec.name] = spec
+    return spec
+
+
+def resolve_design(design: Union[str, DesignSpec]) -> DesignSpec:
+    """The single catalog lookup (shared by the CMP driver and Session)."""
+    if isinstance(design, DesignSpec):
+        return design
+    try:
+        return DESIGN_POINTS[design]
+    except KeyError:
+        raise unknown_name_error("design point", design, DESIGN_POINTS) from None
+
+
+def design_from_spec(
+    spec: DesignSpec,
     program: SyntheticProgram,
     llc: Optional[SharedLLC] = None,
     shared_history: Optional[ShiftHistory] = None,
     frontend_config: Optional[FrontendConfig] = None,
     record_history: bool = True,
 ) -> Tuple[FrontendSimulator, FrontendAreaReport]:
-    """Instantiate the named design point for one core.
+    """Instantiate ``spec`` for one core through the component registries.
 
     ``llc`` and ``shared_history`` may be shared across cores (the CMP driver
     does this); when omitted, private instances are created, which models a
     single core of the CMP with its share of the LLC.
     """
-    try:
-        point = DESIGN_POINTS[name]
-    except KeyError:
-        known = ", ".join(sorted(DESIGN_POINTS))
-        raise KeyError(f"unknown design point {name!r}; known: {known}") from None
-
-    llc = llc if llc is not None else SharedLLC()
-    area_model = AreaModel()
-    l1i = InstructionCache()
-    confluence: Optional[Confluence] = None
-
-    # --- BTB ---------------------------------------------------------------
-    if point.btb == "conventional_1k":
-        btb = ConventionalBTB(entries=1024, victim_entries=64)
-        btb_kb = btb.storage_kb
-    elif point.btb == "two_level":
-        btb = TwoLevelBTB()
-        btb_kb = btb.storage_kb
-    elif point.btb == "phantom":
-        btb = PhantomBTB(llc=llc)
-        btb_kb = btb.storage_kb
-    elif point.btb == "ideal_16k":
-        btb = ConventionalBTB(entries=16 * 1024, latency_cycles=1, name="ideal_btb_16k")
-        btb_kb = btb.storage_kb
-    elif point.btb == "perfect":
-        btb = PerfectBTB()
-        btb_kb = ConventionalBTB(entries=1024, victim_entries=64).storage_kb
-    elif point.btb == "airbtb":
-        confluence = Confluence(
-            image=program.image,
-            l1i=l1i,
-            shared_history=shared_history,
-            llc=llc,
-            record_history=record_history,
-        )
-        btb = confluence.airbtb
-        btb_kb = confluence.storage_kb
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unhandled BTB kind {point.btb}")
-
-    # --- prefetcher ---------------------------------------------------------
-    if point.prefetcher == "none" or point.prefetcher == "perfect":
-        prefetcher = NullPrefetcher()
-    elif point.prefetcher == "fdp":
-        prefetcher = FetchDirectedPrefetcher()
-    elif point.prefetcher == "shift":
-        if confluence is not None:
-            prefetcher = confluence.prefetcher
-        else:
-            history = shared_history or ShiftHistory(llc=llc)
-            prefetcher = ShiftPrefetcher(history, record_history=record_history)
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unhandled prefetcher kind {point.prefetcher}")
-
-    bpu = BranchPredictionUnit(btb=btb)
-    simulator = FrontendSimulator(
-        bpu=bpu,
-        l1i=l1i,
-        llc=llc,
-        prefetcher=prefetcher,
-        confluence=confluence,
-        config=frontend_config,
-        perfect_l1i=point.perfect_l1i,
-        design_name=point.name,
+    context = BuildContext(
+        program=program,
+        llc=llc if llc is not None else SharedLLC(),
+        l1i=InstructionCache(),
+        shared_history=shared_history,
+        record_history=record_history,
+    )
+    btb = BTB_REGISTRY.get(spec.btb)(context, **dict(spec.btb_params))
+    prefetcher = PREFETCHER_REGISTRY.get(spec.prefetcher)(
+        context, **dict(spec.prefetcher_params)
     )
 
-    area = area_model.report_for(
-        design=point.name,
-        btb_storage_kb=btb_kb if btb_kb != float("inf") else 0.0,
-        shift_shared=point.uses_shift,
+    simulator = FrontendSimulator(
+        bpu=BranchPredictionUnit(btb=btb),
+        l1i=context.l1i,
+        llc=context.llc,
+        prefetcher=prefetcher,
+        confluence=context.confluence,
+        config=frontend_config,
+        perfect_l1i=spec.perfect_l1i,
+        design_name=spec.name,
+    )
+
+    btb_kb = spec.btb_storage_kb
+    if btb_kb is None:
+        btb_kb = getattr(btb, "storage_kb", 0.0)
+    if btb_kb == float("inf"):
+        btb_kb = 0.0
+    area = AreaModel().report_for(
+        design=spec.name,
+        btb_storage_kb=btb_kb,
+        shift_shared=spec.uses_shift,
     )
     return simulator, area
+
+
+def build_design(
+    name: Union[str, DesignSpec],
+    program: SyntheticProgram,
+    llc: Optional[SharedLLC] = None,
+    shared_history: Optional[ShiftHistory] = None,
+    frontend_config: Optional[FrontendConfig] = None,
+    record_history: bool = True,
+) -> Tuple[FrontendSimulator, FrontendAreaReport]:
+    """Instantiate a named design point (or an ad-hoc spec) for one core."""
+    return design_from_spec(
+        resolve_design(name),
+        program,
+        llc=llc,
+        shared_history=shared_history,
+        frontend_config=frontend_config,
+        record_history=record_history,
+    )

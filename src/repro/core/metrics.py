@@ -35,10 +35,22 @@ def speedup(baseline_cycles: float, design_cycles: float) -> float:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean, the conventional way to average speedups."""
-    values = [value for value in values if value > 0]
+    """Geometric mean, the conventional way to average speedups.
+
+    Non-positive values are an error, not something to silently drop: a zero
+    speedup means a run produced no cycles or no instructions, and averaging
+    around it would mask the broken run.
+    """
+    values = list(values)
     if not values:
         return 0.0
+    non_positive = sum(1 for value in values if value <= 0)
+    if non_positive:
+        raise ValueError(
+            f"geometric_mean needs positive values; got {non_positive} "
+            f"non-positive of {len(values)} (a non-positive speedup usually "
+            "means a broken run)"
+        )
     product = 1.0
     for value in values:
         product *= value
@@ -65,7 +77,15 @@ def fraction_of_ideal(design_speedup: float, ideal_speedup: float) -> float:
 
 
 def normalize(values: Mapping[str, float], reference_key: str) -> Dict[str, float]:
-    """Normalize a mapping of values to one reference entry."""
+    """Normalize a mapping of values to one reference entry.
+
+    Degenerate input raises :class:`ValueError` (matching
+    :func:`geometric_mean`'s loud-failure behavior) rather than a bare
+    ``KeyError`` or a silent division artifact.
+    """
+    if reference_key not in values:
+        known = ", ".join(sorted(str(key) for key in values))
+        raise ValueError(f"unknown reference {reference_key!r}; known: {known}")
     reference = values[reference_key]
     if reference == 0:
         raise ValueError(f"reference value {reference_key!r} is zero")

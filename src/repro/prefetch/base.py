@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.registry import PREFETCHER_REGISTRY, BuildContext
 from repro.workloads.trace import FetchRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -81,3 +82,14 @@ class NullPrefetcher(InstructionPrefetcher):
 
     def prefetch_targets(self, context: PrefetchContext) -> List[int]:
         return []
+
+
+@PREFETCHER_REGISTRY.register("none")
+def _build_null(ctx: BuildContext, **params) -> NullPrefetcher:
+    return NullPrefetcher(**params)
+
+
+@PREFETCHER_REGISTRY.register("perfect")
+def _build_perfect(ctx: BuildContext, **params) -> NullPrefetcher:
+    """A perfect L1-I needs no prefetcher; the design flag does the work."""
+    return NullPrefetcher(**params)

@@ -21,6 +21,7 @@ from typing import Iterable, List
 
 from repro.isa.instruction import BranchKind
 from repro.prefetch.base import InstructionPrefetcher, PrefetchContext
+from repro.registry import PREFETCHER_REGISTRY, BuildContext
 
 
 class FetchDirectedPrefetcher(InstructionPrefetcher):
@@ -81,3 +82,8 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
     def storage_kb(self) -> float:
         """FDP reuses existing branch predictor metadata (no extra storage)."""
         return 0.0
+
+
+@PREFETCHER_REGISTRY.register("fdp")
+def _build_fdp(ctx: BuildContext, **params) -> FetchDirectedPrefetcher:
+    return FetchDirectedPrefetcher(**params)

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.caches.llc import SharedLLC
 from repro.isa.instruction import BLOCK_SIZE_BYTES
 from repro.prefetch.base import InstructionPrefetcher, PrefetchContext
+from repro.registry import PREFETCHER_REGISTRY, BuildContext
 
 
 @dataclass(frozen=True)
@@ -141,6 +142,32 @@ class ShiftHistory:
             return 0.0
         return self.index_hits / self.index_lookups
 
+    # ------------------------------------------------------------------ #
+    # Replay-side cloning (used by the parallel CMP runner)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Capture the recorded state as plain, picklable data."""
+        return {
+            "config": self.config,
+            "buffer": list(self._buffer),
+            "valid": self._valid,
+            "head": self._head,
+            "index": dict(self._index),
+            "records": self.records,
+        }
+
+    @classmethod
+    def restore(cls, state: dict, llc: Optional[SharedLLC] = None) -> "ShiftHistory":
+        """Rebuild a history from :meth:`snapshot` (e.g. in a worker process)."""
+        history = cls(config=state["config"], llc=llc)
+        history._buffer = list(state["buffer"])
+        history._valid = state["valid"]
+        history._head = state["head"]
+        history._index = dict(state["index"])
+        history.records = state["records"]
+        return history
+
 
 class _ActiveStream:
     """The stream being replayed ahead of the core's fetch stream."""
@@ -249,3 +276,15 @@ class ShiftPrefetcher(InstructionPrefetcher):
     def storage_kb(self) -> float:
         """Dedicated per-core storage: none (history and index live in LLC)."""
         return 0.0
+
+
+@PREFETCHER_REGISTRY.register("shift")
+def _build_shift(ctx: BuildContext, **params) -> InstructionPrefetcher:
+    """SHIFT shares one history per workload; Confluence brings its own."""
+    if ctx.confluence is not None:
+        return ctx.confluence.prefetcher
+    history = ctx.shared_history
+    if history is None:
+        history = ShiftHistory(llc=ctx.llc)
+    params.setdefault("record_history", ctx.record_history)
+    return ShiftPrefetcher(history, **params)

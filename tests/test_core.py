@@ -273,6 +273,13 @@ class TestMetrics:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
 
+    def test_geometric_mean_rejects_non_positive(self):
+        # A zero speedup means a broken run; it must not be silently dropped.
+        with pytest.raises(ValueError, match="non-positive"):
+            geometric_mean([1.0, 0.0, 4.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
     def test_fraction_of_ideal(self):
         assert fraction_of_ideal(1.30, 1.35) == pytest.approx(0.857, abs=0.01)
         assert fraction_of_ideal(1.1, 1.0) == 0.0
@@ -282,6 +289,10 @@ class TestMetrics:
         assert normalize(values, "a") == {"a": 1.0, "b": 2.0}
         with pytest.raises(ValueError):
             normalize({"a": 0.0}, "a")
+
+    def test_normalize_unknown_reference(self):
+        with pytest.raises(ValueError, match="known: a, b"):
+            normalize({"a": 1.0, "b": 2.0}, "missing")
 
 
 class TestChipMultiprocessor:
