@@ -10,6 +10,12 @@ closer to the paper's operating point.
 construction out across ``N`` worker processes and is exposed to benchmarks
 through the ``bench_workers`` fixture for CMP/Session-based runs.  The
 default of 1 keeps everything serial.
+
+``REPRO_BENCH_CACHE`` turns on the sweep engine's on-disk result cache for
+grid benchmarks (``1`` for the default directory — ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro`` — or a path to use as the cache directory).  With it set,
+a smoke run warms the cache, and re-running the suite serves unchanged grid
+cells from disk instead of re-simulating them.
 """
 
 from __future__ import annotations
@@ -20,11 +26,13 @@ from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
+from repro.sweep import ResultCache
 from repro.workloads import evaluation_profiles, generate_trace, synthesize_program
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.45"))
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "350000"))
 BENCH_PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "")
 
 # The paper-shape assertions need workloads big enough to pressure a 1K-entry
 # BTB and a 32 KB L1-I; below this scale the suite runs as a *smoke test*:
@@ -45,6 +53,26 @@ def _build_workload(profile):
 def bench_workers() -> int:
     """Worker-process count for parallel-capable benchmark runs."""
     return BENCH_PARALLEL
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_instructions() -> int:
+    return BENCH_INSTRUCTIONS
+
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    """On-disk result cache for grid benchmarks (None when not requested)."""
+    if not BENCH_CACHE:
+        return None
+    if BENCH_CACHE == "1":
+        return ResultCache()
+    return ResultCache(BENCH_CACHE)
 
 
 @pytest.fixture(scope="session")

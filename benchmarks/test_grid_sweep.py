@@ -1,0 +1,62 @@
+"""CMP grid sweep: (profile x design) cells through the parallel sweep engine.
+
+Not a figure of the paper but the machinery every figure-scale study now
+runs through: the grid is executed by ``repro.sweep`` — cells fanned out
+across ``REPRO_BENCH_PARALLEL`` workers, served from the on-disk result
+cache when ``REPRO_BENCH_CACHE`` is set — and folded into per-profile
+RunReports.  A smoke run therefore warms the cache for every later run of
+the same grid.
+"""
+
+from repro.analysis import format_table, grid_speedup_rows
+from repro.analysis.experiments import evaluation_grid
+
+PROFILES = ("oltp_db2", "web_frontend")
+DESIGNS = ("baseline", "2level_shift", "confluence")
+
+
+def test_grid_sweep_cmp(benchmark, bench_workers, bench_cache, bench_scale,
+                        bench_instructions, shape_assertions):
+    scale = min(bench_scale, 0.2)
+    instructions = min(bench_instructions, 60_000)
+
+    def run():
+        return evaluation_grid(
+            designs=DESIGNS,
+            profiles=PROFILES,
+            scale=scale,
+            cores=2,
+            instructions_per_core=instructions,
+            workers=bench_workers,
+            cache=bench_cache,
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = grid_speedup_rows(reports)
+    print()
+    print(format_table(
+        rows, ("design",) + PROFILES + ("geomean",),
+        title=f"CMP grid sweep (scale={scale}, cores=2, "
+              f"{instructions} instructions/core)",
+    ))
+    if bench_cache is not None:
+        print(f"cache: {bench_cache.hits} hits, {bench_cache.misses} misses "
+              f"({bench_cache.directory})")
+
+    assert set(reports) == set(PROFILES)
+    for profile in PROFILES:
+        report = reports[profile]
+        assert report.designs == list(DESIGNS)
+        assert report["baseline"]["speedup"] == 1.0
+        assert all(report[design]["ipc"] > 0 for design in DESIGNS)
+
+    if not shape_assertions:
+        return
+    for profile in PROFILES:
+        report = reports[profile]
+        # SHIFT-fed designs must cut L1-I pressure and win end to end.  (BTB
+        # MPKI is deliberately not asserted: at this reduced grid scale an
+        # undersized AirBTB can add misses, the paper's Figure 10 artifact.)
+        assert report["confluence"]["l1i_mpki"] < report["baseline"]["l1i_mpki"]
+        assert report["2level_shift"]["l1i_mpki"] < report["baseline"]["l1i_mpki"]
+        assert report["confluence"]["speedup"] > 1.0

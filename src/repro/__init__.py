@@ -16,6 +16,11 @@ The package is organised as the paper's system is:
   and the CMP driver.
 * :mod:`repro.analysis` — experiment harnesses that regenerate every table
   and figure of the paper's evaluation.
+* :mod:`repro.sweep` — the parallel sweep engine: (profile x design) grid
+  cells fanned out across worker processes, with a content-addressed
+  on-disk result cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``)
+  so unchanged cells load instead of re-simulating.  Also the
+  ``python -m repro sweep`` CLI.
 * :mod:`repro.api` — the :class:`Session` facade: build a workload once, run
   a design grid (optionally across worker processes), get a
   JSON-serializable :class:`RunReport`.
@@ -79,9 +84,17 @@ from repro.core import (
     register_design_point,
     resolve_design,
 )
-from repro.api import RunReport, Session, run_grid
+from repro.api import RunReport, Session, reports_from_sweep, run_grid
+from repro.sweep import (
+    ResultCache,
+    SweepCell,
+    SweepOutcome,
+    SweepStats,
+    default_cache_dir,
+    run_sweep,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -117,4 +130,11 @@ __all__ = [
     "RunReport",
     "Session",
     "run_grid",
+    "reports_from_sweep",
+    "ResultCache",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepStats",
+    "default_cache_dir",
+    "run_sweep",
 ]

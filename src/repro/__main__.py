@@ -1,0 +1,148 @@
+"""Command-line entry points: ``python -m repro sweep``.
+
+The sweep subcommand runs a (profile x design) grid through
+:mod:`repro.sweep` — fanned out across worker processes, served from the
+on-disk result cache when the same cell has been simulated before — and
+prints one RunReport table per profile plus the cache hit/miss accounting.
+
+Examples::
+
+    # the paper's full grid, eight profiles x the whole design catalog
+    python -m repro sweep --workers 8
+
+    # a scaled-down slice, twice: the second run is served from cache
+    python -m repro sweep --profiles oltp_db2 dss_qry2 \\
+        --designs baseline confluence --scale 0.1 --cores 4 --workers 4
+    python -m repro sweep --profiles oltp_db2 dss_qry2 \\
+        --designs baseline confluence --scale 0.1 --cores 4 --expect-cached
+
+The cache lives under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``);
+``--cache-dir`` overrides it and ``--no-cache`` disables it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.api import reports_from_sweep
+from repro.core.designs import DESIGN_POINTS
+from repro.sweep import ResultCache, default_cache_dir, run_sweep
+from repro.workloads.profiles import WORKLOAD_PROFILES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Confluence reproduction command-line tools.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a (profile x design) grid with caching and worker processes",
+        description=(
+            "Run a workload-profile x design-point grid through the parallel "
+            "sweep engine and print one report table per profile."
+        ),
+    )
+    sweep.add_argument(
+        "--profiles", nargs="+", metavar="NAME",
+        default=list(WORKLOAD_PROFILES),
+        help="workload profiles to sweep (default: all "
+             f"{len(WORKLOAD_PROFILES)} profiles)",
+    )
+    sweep.add_argument(
+        "--designs", nargs="+", metavar="NAME",
+        default=list(DESIGN_POINTS),
+        help="design points to sweep (default: the whole catalog)",
+    )
+    sweep.add_argument("--scale", type=float, default=1.0,
+                       help="profile footprint/trace scale factor (default 1.0)")
+    sweep.add_argument("--cores", type=int, default=16,
+                       help="CMP cores per cell (default 16)")
+    sweep.add_argument("--instructions-per-core", type=int, default=None,
+                       help="trace length per core (default: profile recommendation)")
+    sweep.add_argument("--trace-seed-base", type=int, default=100,
+                       help="per-core trace seeds are base + core (default 100)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes for grid cells (default: serial)")
+    sweep.add_argument("--baseline", default=None,
+                       help="speedup reference design (default: 'baseline' when "
+                            "present, else the first design)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help=f"result cache directory (default: {default_cache_dir()})")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+    sweep.add_argument("--expect-cached", action="store_true",
+                       help="fail (exit 1) if any cell had to be simulated")
+    sweep.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the reports as JSON instead of tables")
+    sweep.set_defaults(handler=_run_sweep_command)
+    return parser
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    cache: Optional[ResultCache]
+    if args.no_cache:
+        cache = None
+    else:
+        cache = ResultCache(args.cache_dir)
+    outcome = run_sweep(
+        args.profiles,
+        args.designs,
+        scale=args.scale,
+        cores=args.cores,
+        instructions_per_core=args.instructions_per_core,
+        trace_seed_base=args.trace_seed_base,
+        workers=args.workers,
+        cache=cache,
+    )
+    reports = reports_from_sweep(outcome, baseline=args.baseline)
+
+    if args.as_json:
+        payload = {
+            "reports": {name: report.to_dict() for name, report in reports.items()},
+            "stats": {
+                "cells": outcome.stats.cells,
+                "simulated": outcome.stats.simulated,
+                "cache_hits": outcome.stats.cache_hits,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        columns = ("design", "ipc", "speedup", "btb_mpki", "l1i_mpki", "area_mm2")
+        for name, report in reports.items():
+            rows = [report[design] for design in report.designs]
+            print(format_table(
+                rows, columns,
+                title=f"{name} (cores={report.cores}, "
+                      f"instructions/core={report.instructions_per_core})",
+            ))
+            print()
+        where = f" ({cache.directory})" if cache is not None else " (cache disabled)"
+        print(
+            f"cells: {outcome.stats.cells} — {outcome.stats.simulated} simulated, "
+            f"{outcome.stats.cache_hits} from cache{where}"
+        )
+
+    if args.expect_cached and outcome.stats.simulated:
+        print(
+            f"--expect-cached: {outcome.stats.simulated} of {outcome.stats.cells} "
+            "cells were simulated instead of served from cache",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ from repro.analysis.experiments import (
     airbtb_sensitivity,
     branch_density_table,
     btb_capacity_sweep,
+    evaluation_grid,
     frontend_comparison,
+    grid_speedup_rows,
     miss_coverage_comparison,
 )
 from repro.analysis.reporting import format_table, format_series
@@ -18,7 +20,9 @@ from repro.analysis.reporting import format_table, format_series
 __all__ = [
     "btb_capacity_sweep",
     "branch_density_table",
+    "evaluation_grid",
     "frontend_comparison",
+    "grid_speedup_rows",
     "airbtb_ablation",
     "miss_coverage_comparison",
     "airbtb_sensitivity",

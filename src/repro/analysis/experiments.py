@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.api import RunReport, run_grid
 from repro.branch.btb_base import BaseBTB
 from repro.core.area import FrontendAreaReport
 from repro.core.designs import (
@@ -25,9 +26,10 @@ from repro.core.designs import (
     resolve_design,
 )
 from repro.core.frontend import FrontendConfig, FrontendResult
-from repro.core.metrics import miss_coverage, mpki
+from repro.core.metrics import geometric_mean, miss_coverage, mpki
 from repro.registry import build_btb
 from repro.workloads.cfg import SyntheticProgram
+from repro.workloads.profiles import EVALUATION_WORKLOADS
 from repro.workloads.trace import Trace
 
 #: Default fraction of the trace used to warm structures before measuring.
@@ -297,3 +299,55 @@ def airbtb_sensitivity(
         misses, _ = run_design_coverage(spec, program, trace, warmup_fraction)
         results[key] = miss_coverage(baseline_misses, misses)
     return results
+
+
+# --------------------------------------------------------------------------- #
+# CMP-level grid studies (profile x design, through the sweep engine)
+# --------------------------------------------------------------------------- #
+
+#: The design points the paper's CMP-level performance figures compare.
+GRID_DESIGNS: Tuple[str, ...] = (
+    "baseline", "fdp", "2level_fdp", "2level_shift", "confluence", "ideal",
+)
+
+
+def evaluation_grid(
+    designs: Sequence[Union[str, DesignSpec]] = GRID_DESIGNS,
+    profiles: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    **sweep_kwargs,
+) -> Dict[str, RunReport]:
+    """The paper's workload x design CMP grid, on the parallel sweep engine.
+
+    This is the layer every grid-shaped scenario runs through:
+    ``workers=N`` fans the (profile x design) cells out across processes and
+    ``cache=...`` serves unchanged cells from the on-disk result cache (see
+    :mod:`repro.sweep`).  ``profiles`` defaults to the five evaluation
+    workloads; the remaining keyword arguments (``scale``, ``cores``,
+    ``instructions_per_core``, ...) apply to every cell.
+    """
+    if profiles is None:
+        # The evaluation suite's representative profiles, de-duplicated in
+        # presentation order.
+        profiles = list(dict.fromkeys(EVALUATION_WORKLOADS.values()))
+    return run_grid(profiles, designs, baseline=baseline, **sweep_kwargs)
+
+
+def grid_speedup_rows(
+    reports: Mapping[str, RunReport],
+) -> List[Dict[str, object]]:
+    """Per-design speedup rows (one column per profile + GEOMEAN) for tables."""
+    rows: List[Dict[str, object]] = []
+    profile_names = list(reports)
+    if not profile_names:
+        return rows
+    designs = reports[profile_names[0]].designs
+    for design in designs:
+        speedups = [
+            float(reports[profile][design]["speedup"]) for profile in profile_names
+        ]
+        row: Dict[str, object] = {"design": design}
+        row.update(dict(zip(profile_names, speedups)))
+        row["geomean"] = geometric_mean(speedups)
+        rows.append(row)
+    return rows

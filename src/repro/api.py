@@ -10,11 +10,14 @@ One line builds a workload and runs a design grid::
     print(report["confluence"]["speedup"])
 
 A :class:`Session` owns one workload: the synthetic program is synthesized
-once and cached, and every per-core trace is generated once, so running many
-design points amortizes the (comparatively expensive) workload construction.
-Per-core simulation can be fanned out across worker processes with
-``workers=N`` (opt-in; the serial default preserves seed determinism, and the
-parallel path is bit-identical to it anyway).
+once and memoized per process, and every per-core trace is generated once,
+so running many design points amortizes the (comparatively expensive)
+workload construction.  Runs execute through :mod:`repro.sweep`: each
+(profile, design) grid cell can be fanned out across worker processes with
+``workers=N`` (opt-in; the serial default preserves seed determinism, and
+the parallel path is bit-identical to it anyway) and served from the
+on-disk result cache with ``cache=...`` so an unchanged cell is loaded
+instead of re-simulated.
 
 The result is a :class:`RunReport` of plain data — JSON-serializable both
 ways — so sweeps can be archived, diffed and post-processed without keeping
@@ -25,15 +28,26 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.core.cmp import ChipMultiprocessor, CMPResult
+from repro.core.cmp import ChipMultiprocessor
 from repro.core.designs import DesignSpec, resolve_design
 from repro.core.frontend import FrontendConfig
-from repro.workloads.cfg import SyntheticProgram, synthesize_program
+from repro.registry import ensure_unique_names
+from repro.sweep import (
+    ResultCache,
+    SweepCell,
+    SweepOutcome,
+    cmp_driver,
+    run_cells,
+    run_sweep,
+    workload_program,
+)
+from repro.workloads.cfg import SyntheticProgram
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
-__all__ = ["Session", "RunReport", "run_grid"]
+__all__ = ["Session", "RunReport", "run_grid", "reports_from_sweep"]
 
 
 @dataclass
@@ -104,25 +118,41 @@ class RunReport:
         return cls.from_dict(json.loads(text))
 
 
-def _summarize(result: CMPResult, spec: DesignSpec, cores: int) -> Dict[str, object]:
-    """Flatten one CMP result into plain JSON-compatible data."""
-    summary: Dict[str, object] = {
-        "design": result.design,
-        "label": spec.label,
-        "workload": result.workload,
-        "cores": cores,
-        "instructions": result.instructions,
-        "cycles": result.cycles,
-        "ipc": result.ipc,
-        "btb_mpki": result.btb_mpki,
-        "l1i_mpki": result.l1i_mpki,
-        "core_ipc": [core.ipc for core in result.core_results],
-    }
-    if result.area is not None:
-        summary["area_mm2"] = result.area.total_mm2
-        summary["area_fraction_of_core"] = result.area.fraction_of_core
-        summary["area_components_mm2"] = dict(result.area.components_mm2)
-    return summary
+def _pick_baseline(names: Sequence[str], baseline: Optional[str]) -> str:
+    """The speedup reference: ``"baseline"`` when present, else the first."""
+    if baseline is None:
+        return "baseline" if "baseline" in names else names[0]
+    if baseline not in names:
+        raise ValueError(
+            f"baseline {baseline!r} is not among the designs: {', '.join(names)}"
+        )
+    return baseline
+
+
+def _assemble_report(
+    profile: str,
+    scale: float,
+    cores: int,
+    instructions_per_core: int,
+    baseline: str,
+    names: Sequence[str],
+    summaries: Mapping[str, Mapping[str, object]],
+) -> RunReport:
+    """Fold baseline-independent cell summaries into one :class:`RunReport`."""
+    report = RunReport(
+        profile=profile,
+        scale=scale,
+        cores=cores,
+        instructions_per_core=instructions_per_core,
+        baseline=baseline,
+        order=list(names),
+    )
+    base_ipc = float(summaries[baseline]["ipc"])
+    for name in names:
+        summary = dict(summaries[name])
+        summary["speedup"] = float(summary["ipc"]) / base_ipc if base_ipc else 0.0
+        report.results[name] = summary
+    return report
 
 
 class Session:
@@ -140,6 +170,10 @@ class Session:
         workers: default process-pool width for :meth:`run` (``None``/1 =
             serial, the deterministic default; results are identical either
             way, parallelism only buys wall-clock).
+        cache: on-disk result cache for :meth:`run` cells — ``True`` for the
+            default directory (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), a
+            path, or a :class:`repro.sweep.ResultCache`; ``None`` (default)
+            disables caching.
     """
 
     def __init__(
@@ -151,6 +185,7 @@ class Session:
         frontend_config: Optional[FrontendConfig] = None,
         trace_seed_base: int = 100,
         workers: Optional[int] = None,
+        cache: Union[None, bool, str, Path, ResultCache] = None,
     ) -> None:
         if isinstance(profile, str):
             profile = get_profile(profile)
@@ -165,28 +200,44 @@ class Session:
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
         self.workers = workers
+        self.cache = ResultCache.coerce(cache)
         self._program: Optional[SyntheticProgram] = None
         self._cmp: Optional[ChipMultiprocessor] = None
 
     @property
     def program(self) -> SyntheticProgram:
-        """The synthesized workload program (built once, then cached)."""
+        """The synthesized workload program (built once per process)."""
         if self._program is None:
-            self._program = synthesize_program(self.profile)
+            # The sweep engine's per-process memo, so a Session and the cells
+            # it schedules share one synthesized program.
+            self._program = workload_program(self.profile)
         return self._program
 
     @property
     def cmp(self) -> ChipMultiprocessor:
         """The CMP driver behind this session (traces cached inside)."""
         if self._cmp is None:
-            self._cmp = ChipMultiprocessor(
-                self.program,
-                cores=self.cores,
-                instructions_per_core=self.instructions_per_core,
-                frontend_config=self.frontend_config,
-                trace_seed_base=self.trace_seed_base,
-                workers=self.workers,
-            )
+            if self.workers is None:
+                # Same memoized driver the session's sweep cells use, so
+                # run() and direct cmp access share one trace set.
+                self._cmp = cmp_driver(
+                    self.profile,
+                    self.cores,
+                    self.instructions_per_core,
+                    self.trace_seed_base,
+                    self.frontend_config,
+                )
+            else:
+                # A session-level core-parallel default is baked into the
+                # driver, which the shared memo must not carry: keep private.
+                self._cmp = ChipMultiprocessor(
+                    self.program,
+                    cores=self.cores,
+                    instructions_per_core=self.instructions_per_core,
+                    frontend_config=self.frontend_config,
+                    trace_seed_base=self.trace_seed_base,
+                    workers=self.workers,
+                )
         return self._cmp
 
     def run(
@@ -198,8 +249,11 @@ class Session:
         """Run a set of design points and return a :class:`RunReport`.
 
         ``designs`` may mix catalog names and ad-hoc :class:`DesignSpec`
-        instances.  ``baseline`` names the speedup reference; it defaults to
-        ``"baseline"`` when present, else the first design.
+        instances; duplicate design names are rejected (they would silently
+        collapse report rows).  ``baseline`` names the speedup reference; it
+        defaults to ``"baseline"`` when present, else the first design.
+        Cells execute through :mod:`repro.sweep`, so the session's ``cache``
+        serves unchanged design points from disk.
         """
         if isinstance(designs, (str, DesignSpec)):
             designs = [designs]
@@ -207,47 +261,75 @@ class Session:
         if not specs:
             raise ValueError("no designs given")
         names = [spec.name for spec in specs]
-        if baseline is None:
-            baseline = "baseline" if "baseline" in names else names[0]
-        elif baseline not in names:
-            raise ValueError(
-                f"baseline {baseline!r} is not among the designs: {', '.join(names)}"
-            )
+        ensure_unique_names("design", names)
+        baseline = _pick_baseline(names, baseline)
 
-        report = RunReport(
+        workers = workers if workers is not None else self.workers
+        cells = [
+            SweepCell(
+                profile=self.profile,
+                spec=spec,
+                cores=self.cores,
+                instructions_per_core=self.instructions_per_core,
+                trace_seed_base=self.trace_seed_base,
+                frontend_config=self.frontend_config,
+            )
+            for spec in specs
+        ]
+        summaries, _ = run_cells(cells, workers=workers, cache=self.cache)
+        return _assemble_report(
             profile=self.profile.name,
             scale=self.scale,
             cores=self.cores,
             instructions_per_core=self.instructions_per_core,
             baseline=baseline,
-            order=names,
+            names=names,
+            summaries=dict(zip(names, summaries)),
         )
-        results = {
-            spec.name: self.cmp.run_design(spec, workers=workers)
-            for spec in specs
-        }
-        base_ipc = results[baseline].ipc
-        for spec in specs:
-            summary = _summarize(results[spec.name], spec, self.cores)
-            summary["speedup"] = (
-                results[spec.name].ipc / base_ipc if base_ipc else 0.0
-            )
-            report.results[spec.name] = summary
-        return report
+
+
+def reports_from_sweep(
+    outcome: SweepOutcome, baseline: Optional[str] = None
+) -> Dict[str, RunReport]:
+    """Fold a :class:`~repro.sweep.SweepOutcome` into per-profile reports."""
+    baseline = _pick_baseline(outcome.designs, baseline)
+    cell_by_profile = {}
+    for cell in outcome.cells:
+        cell_by_profile.setdefault(cell.profile.name, cell)
+    reports: Dict[str, RunReport] = {}
+    for profile_name in outcome.profiles:
+        cell = cell_by_profile[profile_name]
+        reports[profile_name] = _assemble_report(
+            profile=profile_name,
+            scale=outcome.scale,
+            cores=cell.cores,
+            instructions_per_core=cell.instructions_per_core,
+            baseline=baseline,
+            names=outcome.designs,
+            summaries={
+                design: outcome.summary(profile_name, design)
+                for design in outcome.designs
+            },
+        )
+    return reports
 
 
 def run_grid(
     profiles: Iterable[Union[str, WorkloadProfile]],
     designs: Sequence[Union[str, DesignSpec]],
-    **session_kwargs,
+    baseline: Optional[str] = None,
+    **sweep_kwargs,
 ) -> Dict[str, RunReport]:
-    """Run a workload x design grid: one :class:`Session` per profile.
+    """Run a workload x design grid through the parallel sweep engine.
 
-    Any :class:`Session` keyword argument (scale, cores, workers, ...) applies
-    to every cell.  Returns ``{profile name: RunReport}``.
+    Every (profile, design) cell of the grid — not just the cores inside one
+    design point — is a unit of work: ``workers=N`` fans cells out across
+    processes and ``cache=...`` serves unchanged cells from the on-disk
+    result cache (see :mod:`repro.sweep`).  The remaining keyword arguments
+    (``scale``, ``cores``, ``instructions_per_core``, ``frontend_config``,
+    ``trace_seed_base``) apply to every cell.  Returns
+    ``{profile name: RunReport}``, identical to running one serial
+    :class:`Session` per profile.
     """
-    reports: Dict[str, RunReport] = {}
-    for profile in profiles:
-        session = Session(profile=profile, **session_kwargs)
-        reports[session.profile.name] = session.run(designs)
-    return reports
+    outcome = run_sweep(profiles, designs, **sweep_kwargs)
+    return reports_from_sweep(outcome, baseline=baseline)

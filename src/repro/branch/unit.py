@@ -48,8 +48,25 @@ class BranchPrediction:
 
     @property
     def misfetch(self) -> bool:
-        """A taken branch whose target could not be produced at fetch time."""
-        return self.actual_taken and (not self.btb_hit or not self.target_correct)
+        """A predicted-taken branch whose target the BTB could not supply.
+
+        Misfetches are a *BTB supply* problem discovered in the first decode
+        stage: fetch was steered (the direction predictor said taken, and it
+        was right) but to a missing or wrong target.  Direction
+        mispredictions are deliberately excluded — a predicted-not-taken
+        branch falls through at fetch regardless of what the BTB holds, and
+        its taken outcome is only discovered at execute, paying the (much
+        larger) direction-misprediction penalty instead.
+        """
+        if not (self.actual_taken and self.predicted_taken):
+            return False
+        return not self.btb_hit or self.predicted_target != self.actual_target
+
+    @property
+    def direction_mispredicted(self) -> bool:
+        """The direction predictor steered fetch the wrong way (execute-time
+        flush; mutually exclusive with :attr:`misfetch` by construction)."""
+        return not self.direction_correct
 
 
 class BranchPredictionUnit:

@@ -32,7 +32,9 @@ from repro.caches.llc import LLCConfig, SharedLLC
 from repro.core.area import FrontendAreaReport
 from repro.core.designs import DesignSpec, design_from_spec, resolve_design
 from repro.core.frontend import FrontendConfig, FrontendResult
+from repro.core.metrics import mpki
 from repro.prefetch.shift import ShiftHistory
+from repro.registry import ensure_unique_names
 from repro.workloads.cfg import SyntheticProgram
 from repro.workloads.generator import generate_trace
 from repro.workloads.profiles import WorkloadProfile
@@ -68,16 +70,14 @@ class CMPResult:
 
     @property
     def btb_mpki(self) -> float:
-        if self.instructions == 0:
-            return 0.0
-        return 1000.0 * self.btb_taken_misses / self.instructions
+        # metrics.mpki raises on a zero instruction count: a result that
+        # measured nothing must fail loudly, not read as miss-free.
+        return mpki(self.btb_taken_misses, self.instructions)
 
     @property
     def l1i_mpki(self) -> float:
-        if self.instructions == 0:
-            return 0.0
-        misses = sum(result.l1i_misses for result in self.core_results)
-        return 1000.0 * misses / self.instructions
+        return mpki(sum(result.l1i_misses for result in self.core_results),
+                    self.instructions)
 
     def speedup_over(self, baseline: "CMPResult") -> float:
         if self.ipc == 0 or baseline.ipc == 0:
@@ -234,8 +234,12 @@ class ChipMultiprocessor:
         designs: Iterable[Union[str, DesignSpec]],
         workers: Optional[int] = None,
     ) -> Dict[str, CMPResult]:
-        """Run a set of design points; returns ``{design name: CMPResult}``."""
-        return {
-            resolve_design(design).name: self.run_design(design, workers=workers)
-            for design in designs
-        }
+        """Run a set of design points; returns ``{design name: CMPResult}``.
+
+        Each spec is resolved exactly once, and duplicate design names are
+        rejected: they would silently overwrite each other in the result
+        mapping (rename a derived spec with :meth:`DesignSpec.derive`).
+        """
+        specs = [resolve_design(design) for design in designs]
+        ensure_unique_names("design", [spec.name for spec in specs])
+        return {spec.name: self.run_design(spec, workers=workers) for spec in specs}

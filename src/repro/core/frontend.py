@@ -29,6 +29,7 @@ from repro.branch.unit import BranchPredictionUnit
 from repro.caches.l1i import InstructionCache
 from repro.caches.llc import SharedLLC
 from repro.core.confluence import Confluence
+from repro.core.metrics import mpki
 from repro.prefetch.base import InstructionPrefetcher, NullPrefetcher, PrefetchContext
 from repro.workloads.trace import FetchRecord, Trace
 
@@ -94,15 +95,13 @@ class FrontendResult:
 
     @property
     def btb_mpki(self) -> float:
-        if self.instructions == 0:
-            return 0.0
-        return 1000.0 * self.btb_taken_misses / self.instructions
+        # metrics.mpki raises on a zero instruction count: a result that
+        # measured nothing must fail loudly, not read as miss-free.
+        return mpki(self.btb_taken_misses, self.instructions)
 
     @property
     def l1i_mpki(self) -> float:
-        if self.instructions == 0:
-            return 0.0
-        return 1000.0 * self.l1i_misses / self.instructions
+        return mpki(self.l1i_misses, self.instructions)
 
     def speedup_over(self, baseline: "FrontendResult") -> float:
         """Performance (IPC) relative to ``baseline``."""
@@ -176,9 +175,13 @@ class FrontendSimulator:
         btb_bubble = 0
         if btb_result.hit and btb_result.latency_cycles > 1:
             btb_bubble = btb_result.latency_cycles - 1
+        # Misfetches (BTB could not supply a predicted-taken target; caught at
+        # decode) and direction mispredictions (wrong steer; caught at
+        # execute) are disjoint by construction: a misfetch requires the
+        # direction prediction to be correct.
         misfetch = prediction.misfetch
         direction_miss = (
-            not prediction.direction_correct and record.branch_pc is not None and not misfetch
+            not prediction.direction_correct and record.branch_pc is not None
         )
 
         # --- instruction fetch -------------------------------------------------
@@ -218,7 +221,7 @@ class FrontendSimulator:
         self._cycle += record.instruction_count * config.base_cpi
         if misfetch:
             self._cycle += config.misfetch_penalty_cycles
-        elif direction_miss:
+        if direction_miss:
             self._cycle += config.direction_mispredict_penalty_cycles
         self._cycle += btb_bubble + fetch_stall
 
@@ -273,5 +276,8 @@ class FrontendSimulator:
         result.prefetches_issued += issued
 
     def _finalize(self, result: FrontendResult) -> None:
-        # Drop stale in-flight entries so repeated run() calls start clean.
+        # Repeated run() calls start clean: drop stale in-flight entries AND
+        # rewind the cycle counter (caches and predictors stay warm — reuse
+        # models a core moving to the next trace, not a cold restart).
         self._inflight.clear()
+        self._cycle = 0.0

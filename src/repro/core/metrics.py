@@ -10,9 +10,17 @@ from typing import Dict, Iterable, Mapping, Sequence
 
 
 def mpki(misses: int, instructions: int) -> float:
-    """Misses per kilo-instruction."""
+    """Misses per kilo-instruction.
+
+    A non-positive instruction count is an error, not zero MPKI: it means
+    the run measured nothing (e.g. the warmup swallowed the whole trace),
+    and silently reporting 0.0 would read as a *perfect* result.
+    """
     if instructions <= 0:
-        return 0.0
+        raise ValueError(
+            f"mpki needs a positive instruction count, got {instructions} "
+            "(a run that measured no instructions is broken, not miss-free)"
+        )
     return 1000.0 * misses / instructions
 
 
@@ -20,10 +28,17 @@ def miss_coverage(baseline_misses: int, design_misses: int) -> float:
     """Fraction of the baseline's misses a design eliminates (Figures 8-10).
 
     Negative values mean the design *added* misses relative to the baseline,
-    which Figure 10 shows for undersized AirBTB configurations.
+    which Figure 10 shows for undersized AirBTB configurations.  A baseline
+    without misses is an error (matching :func:`geometric_mean`'s
+    loud-failure behavior): there is nothing to cover, so every answer would
+    be an artifact of the degenerate denominator.
     """
     if baseline_misses <= 0:
-        return 0.0
+        raise ValueError(
+            f"miss_coverage needs positive baseline misses, got "
+            f"{baseline_misses} (a baseline with no misses leaves nothing "
+            "to cover — the workload is too small for this study)"
+        )
     return (baseline_misses - design_misses) / baseline_misses
 
 

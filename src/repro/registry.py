@@ -54,6 +54,27 @@ def unknown_name_error(kind: str, name: str, known) -> UnknownComponentError:
     return UnknownComponentError(f"unknown {kind} {name!r}; known: {listing}")
 
 
+def ensure_unique_names(
+    kind: str,
+    names,
+    hint: str = "DesignSpec.derive() renames a spec",
+) -> None:
+    """The single duplicate-name check used by runs, grids and sweeps.
+
+    Results are keyed by name, so colliding names would silently overwrite
+    each other; refuse loudly instead.
+    """
+    counts: Dict[str, int] = {}
+    for name in names:
+        counts[name] = counts.get(name, 0) + 1
+    duplicates = sorted(name for name, count in counts.items() if count > 1)
+    if duplicates:
+        raise ValueError(
+            f"duplicate {kind} name(s): {', '.join(duplicates)} — every "
+            f"{kind} in a run needs a unique name ({hint})"
+        )
+
+
 @dataclass
 class BuildContext:
     """Everything a component factory may need beyond its own parameters.

@@ -1,0 +1,525 @@
+"""Parallel sweep engine with content-addressed on-disk result caching.
+
+The paper's evaluation is a grid — workload profiles x frontend design
+points — and scale-out studies live and die by sweep throughput.  This
+module makes the whole grid the unit of parallelism and makes repeat runs
+nearly free:
+
+* A **grid cell** (:class:`SweepCell`) is one (profile, design) pair plus
+  everything that determines its outcome: core count, trace length, trace
+  seeds and the frontend timing config.  Cells are independent given their
+  seeds — every workload program and per-core trace is synthesized
+  deterministically from the cell's parameters — so fanning cells out across
+  a :class:`~concurrent.futures.ProcessPoolExecutor` is bit-identical to
+  running them one after another.
+* Every finished cell is summarized to plain JSON data and stored in a
+  **content-addressed result cache** (:class:`ResultCache`): the file name is
+  a stable hash of the cell's parameters, so an unchanged cell is loaded
+  from disk instead of re-simulated, and any parameter change (a different
+  seed, one more core, a derived spec) naturally misses.  The cache lives
+  under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
+
+:func:`run_sweep` is the high-level entry point; ``repro.api.run_grid`` and
+:class:`repro.api.Session` are built on top of it, and
+``python -m repro sweep`` exposes it on the command line.  The
+:class:`SweepStats` counters (``simulated`` vs ``cache_hits``) make cache
+behavior observable: a warm re-run of an unchanged grid reports
+``simulated == 0``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.cmp import ChipMultiprocessor, CMPResult, _fork_context
+from repro.core.designs import DesignSpec, resolve_design
+from repro.core.frontend import FrontendConfig
+from repro.registry import (
+    BTB_REGISTRY,
+    PREFETCHER_REGISTRY,
+    ensure_unique_names,
+)
+from repro.workloads.cfg import SyntheticProgram, synthesize_program
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepStats",
+    "cell_key",
+    "clear_workload_memo",
+    "cmp_driver",
+    "default_cache_dir",
+    "run_cells",
+    "run_sweep",
+    "simulate_cell",
+    "summarize_result",
+    "workload_program",
+]
+
+#: Bumped whenever the simulator or the summary layout changes meaning:
+#: entries written under another schema are ignored, never misread.
+CACHE_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Content-addressed result cache
+# --------------------------------------------------------------------------- #
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _jsonable(value):
+    """Canonical plain-data form of cell parameters (dataclasses, mappings)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+#: Per-process memo of component-factory fingerprints, keyed by the factory
+#: object itself so re-registering a name (overwrite=True) re-fingerprints.
+_FACTORY_FINGERPRINTS: Dict[object, str] = {}
+
+
+def _factory_fingerprint(registry, name: str) -> str:
+    """Content fingerprint of a registered component factory.
+
+    The factory's *source* joins the cache key, so swapping or editing a
+    registered factory invalidates its cached cells instead of silently
+    serving results from the old implementation.  (Classes the factory
+    merely calls are not hashed — clear the cache directory after editing
+    component internals that the factory source does not mention; in-repo
+    simulator changes are covered by :data:`CACHE_SCHEMA_VERSION`.)
+    """
+    factory = registry.get(name)
+    fingerprint = _FACTORY_FINGERPRINTS.get(factory)
+    if fingerprint is None:
+        try:
+            identity = inspect.getsource(factory)
+        except (OSError, TypeError):  # e.g. factories defined in a REPL
+            identity = "{}:{}".format(
+                getattr(factory, "__module__", "?"),
+                getattr(factory, "__qualname__", repr(factory)),
+            )
+        fingerprint = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+        _FACTORY_FINGERPRINTS[factory] = fingerprint
+    return fingerprint
+
+
+def cell_key(cell: "SweepCell") -> str:
+    """Stable content hash of everything that determines a cell's result.
+
+    Covers the full workload profile, the design spec (component names and
+    every parameter override), the source fingerprints of the registered
+    component factories the spec names, the frontend timing config, the core
+    count, the per-core trace seeds and the trace length — the closure of
+    inputs the simulation is a pure function of.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "profile": _jsonable(cell.profile),
+        "design": _jsonable(cell.spec.to_dict()),
+        "btb_factory": _factory_fingerprint(BTB_REGISTRY, cell.spec.btb),
+        "prefetcher_factory": _factory_fingerprint(
+            PREFETCHER_REGISTRY, cell.spec.prefetcher
+        ),
+        "frontend_config": _jsonable(cell.frontend_config),
+        "cores": cell.cores,
+        "instructions_per_core": cell.instructions_per_core,
+        "trace_seeds": [cell.trace_seed_base + core for core in range(cell.cores)],
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk JSON store of cell summaries, one file per content hash.
+
+    Writes are atomic (temp file + rename) so concurrent sweeps sharing a
+    cache directory can only ever observe complete entries.  ``hits`` and
+    ``misses`` count :meth:`get` outcomes for observability.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.directory)!r}, hits={self.hits}, misses={self.misses})"
+
+    @classmethod
+    def coerce(
+        cls, cache: Union[None, bool, str, Path, "ResultCache"]
+    ) -> Optional["ResultCache"]:
+        """Normalize the user-facing ``cache`` knob.
+
+        ``None``/``False`` disables caching, ``True`` uses the default
+        directory, a path uses that directory, and an existing
+        :class:`ResultCache` (counters and all) passes through.
+        """
+        if cache is None or cache is False:
+            return None
+        if cache is True:
+            return cls()
+        if isinstance(cache, cls):
+            return cache
+        return cls(cache)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Load a cached summary, or ``None`` on miss/corruption/stale schema."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or "summary" not in payload
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["summary"]
+
+    def put(self, key: str, summary: Mapping[str, object]) -> Path:
+        """Store one cell summary atomically; returns the entry's path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "summary": dict(summary)}
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp, sort_keys=True)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self._path(key)
+
+
+# --------------------------------------------------------------------------- #
+# Grid cells
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (profile x design) grid cell with its full parameter closure."""
+
+    profile: WorkloadProfile
+    spec: DesignSpec
+    cores: int
+    instructions_per_core: int
+    trace_seed_base: int = 100
+    frontend_config: Optional[FrontendConfig] = None
+
+    def key(self) -> str:
+        return cell_key(self)
+
+
+@dataclass
+class SweepStats:
+    """How a sweep's cells were satisfied (the cache observability hook)."""
+
+    simulated: int = 0
+    cache_hits: int = 0
+
+    @property
+    def cells(self) -> int:
+        return self.simulated + self.cache_hits
+
+
+@dataclass
+class SweepOutcome:
+    """Result of :func:`run_sweep`: per-cell summaries plus satisfaction stats."""
+
+    profiles: List[str]
+    designs: List[str]
+    scale: float
+    cells: List[SweepCell]
+    summaries: Dict[Tuple[str, str], Dict[str, object]]
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def summary(self, profile: str, design: str) -> Dict[str, object]:
+        return self.summaries[(profile, design)]
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution (runs in the parent or in pool workers)
+# --------------------------------------------------------------------------- #
+
+#: Per-process memo of synthesized programs: cells of the same profile reuse
+#: one program whether they run in the parent or share a worker process.
+#: Programs are comparatively small (their size is bounded by the profile's
+#: static layout), so this memo is unbounded.
+_PROGRAM_MEMO: Dict[WorkloadProfile, SyntheticProgram] = {}
+
+#: Per-process memo of CMP drivers (which cache their per-core traces), keyed
+#: by everything that shapes the traces; designs of the same profile reuse it.
+#: Traces are the heavy part (cores x instructions_per_core fetch records per
+#: entry), so this memo is a small LRU rather than unbounded.
+_CMP_MEMO: "OrderedDict[tuple, ChipMultiprocessor]" = OrderedDict()
+_CMP_MEMO_MAX_ENTRIES = 4
+
+
+def workload_program(profile: WorkloadProfile) -> SyntheticProgram:
+    """Synthesize (or reuse) the program for ``profile`` in this process."""
+    program = _PROGRAM_MEMO.get(profile)
+    if program is None:
+        program = synthesize_program(profile)
+        _PROGRAM_MEMO[profile] = program
+    return program
+
+
+def clear_workload_memo() -> None:
+    """Drop the per-process program/trace memos (frees their memory)."""
+    _PROGRAM_MEMO.clear()
+    _CMP_MEMO.clear()
+
+
+def cmp_driver(
+    profile: WorkloadProfile,
+    cores: int,
+    instructions_per_core: int,
+    trace_seed_base: int = 100,
+    frontend_config: Optional[FrontendConfig] = None,
+) -> ChipMultiprocessor:
+    """The per-process memoized CMP driver for one workload configuration.
+
+    Shared by sweep cells and :class:`repro.api.Session`, so a session and
+    the cells it schedules reuse one driver (and its cached traces).
+    """
+    memo_key = (profile, cores, instructions_per_core, trace_seed_base,
+                frontend_config)
+    cmp_model = _CMP_MEMO.get(memo_key)
+    if cmp_model is None:
+        cmp_model = ChipMultiprocessor(
+            workload_program(profile),
+            cores=cores,
+            instructions_per_core=instructions_per_core,
+            frontend_config=frontend_config,
+            trace_seed_base=trace_seed_base,
+        )
+        _CMP_MEMO[memo_key] = cmp_model
+        while len(_CMP_MEMO) > _CMP_MEMO_MAX_ENTRIES:
+            _CMP_MEMO.popitem(last=False)
+    else:
+        _CMP_MEMO.move_to_end(memo_key)
+    return cmp_model
+
+
+def _cmp_for_cell(cell: SweepCell) -> ChipMultiprocessor:
+    return cmp_driver(
+        cell.profile,
+        cell.cores,
+        cell.instructions_per_core,
+        cell.trace_seed_base,
+        cell.frontend_config,
+    )
+
+
+def summarize_result(
+    result: CMPResult, spec: DesignSpec, cores: int
+) -> Dict[str, object]:
+    """Flatten one CMP result into plain JSON-compatible data.
+
+    This is the cacheable unit: everything in it is baseline-independent
+    (speedups are derived later, when a report picks its reference design).
+    """
+    summary: Dict[str, object] = {
+        "design": result.design,
+        "label": spec.label,
+        "workload": result.workload,
+        "cores": cores,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "btb_mpki": result.btb_mpki,
+        "l1i_mpki": result.l1i_mpki,
+        "core_ipc": [core.ipc for core in result.core_results],
+    }
+    if result.area is not None:
+        summary["area_mm2"] = result.area.total_mm2
+        summary["area_fraction_of_core"] = result.area.fraction_of_core
+        summary["area_components_mm2"] = dict(result.area.components_mm2)
+    return summary
+
+
+def simulate_cell(
+    cell: SweepCell, workers: Optional[int] = None
+) -> Dict[str, object]:
+    """Run one grid cell and return its summary.
+
+    ``workers`` (rarely needed) fans the cell's *replaying cores* out instead
+    of its siblings — used when a sweep has more workers than pending cells.
+    """
+    result = _cmp_for_cell(cell).run_design(cell.spec, workers=workers)
+    return summarize_result(result, cell.spec, cell.cores)
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler
+# --------------------------------------------------------------------------- #
+
+def run_cells(
+    cells: Sequence[SweepCell],
+    workers: Optional[int] = None,
+    cache: Union[None, bool, str, Path, ResultCache] = None,
+) -> Tuple[List[Dict[str, object]], SweepStats]:
+    """Satisfy every cell, from the cache when possible, else by simulating.
+
+    Cache misses get the whole ``workers`` budget at exactly one level —
+    never nested pools (forking inside forked pool workers is the classic
+    fork-with-threads deadlock hazard):
+
+    * enough pending cells to keep the pool busy — fan *cells* out across
+      processes, each cell's cores serial;
+    * few wide cells (more workers than cells, cells wider than the pool
+      they would fill) — run cells one after another, fanning each cell's
+      *replaying cores* out instead.
+
+    Both levels are bit-identical to the serial path (cells are pure
+    functions of their parameters; the core-level path is PR 1's
+    bit-identical fan-out), so the choice only affects wall-clock.  Returns
+    the summaries in cell order plus the :class:`SweepStats` of this run.
+    """
+    if workers is not None and workers <= 0:
+        raise ValueError("workers must be positive when given")
+    store = ResultCache.coerce(cache)
+    stats = SweepStats()
+    summaries: List[Optional[Dict[str, object]]] = [None] * len(cells)
+
+    pending: List[int] = []
+    for index, cell in enumerate(cells):
+        cached = store.get(cell.key()) if store is not None else None
+        if cached is not None:
+            summaries[index] = cached
+            stats.cache_hits += 1
+        else:
+            pending.append(index)
+
+    if pending:
+        parallel = workers is not None and workers > 1
+        context = _fork_context() if parallel else None
+        core_fanout = (
+            min(workers, min(cells[i].cores for i in pending)) if parallel else 1
+        )
+        if parallel and core_fanout > len(pending):
+            # e.g. a 2-design, 16-core session with workers=8: sequential
+            # cells, 8-way core fan-out each, beats a 2-wide cell pool.
+            fresh = [simulate_cell(cells[i], workers=workers) for i in pending]
+        elif parallel and len(pending) > 1 and context is not None:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=context
+            ) as pool:
+                fresh = list(pool.map(simulate_cell, [cells[i] for i in pending]))
+        else:
+            core_workers = workers if parallel else None
+            fresh = [simulate_cell(cells[i], workers=core_workers) for i in pending]
+        for index, summary in zip(pending, fresh):
+            summaries[index] = summary
+            stats.simulated += 1
+            if store is not None:
+                store.put(cells[index].key(), summary)
+
+    return list(summaries), stats  # type: ignore[arg-type]
+
+
+def run_sweep(
+    profiles: Iterable[Union[str, WorkloadProfile]],
+    designs: Sequence[Union[str, DesignSpec]],
+    scale: float = 1.0,
+    cores: int = 16,
+    instructions_per_core: Optional[int] = None,
+    frontend_config: Optional[FrontendConfig] = None,
+    trace_seed_base: int = 100,
+    workers: Optional[int] = None,
+    cache: Union[None, bool, str, Path, ResultCache] = None,
+) -> SweepOutcome:
+    """Run the full (profile x design) grid through the cell scheduler.
+
+    ``profiles`` and ``designs`` may mix names and instances; ``scale``
+    shrinks every profile (as :class:`repro.api.Session` does).  When
+    ``instructions_per_core`` is omitted each profile uses its own
+    recommended trace length.
+    """
+    resolved_profiles: List[WorkloadProfile] = []
+    for profile in profiles:
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        if scale != 1.0:
+            profile = profile.scaled(scale)
+        resolved_profiles.append(profile)
+    if not resolved_profiles:
+        raise ValueError("no profiles given")
+    specs = [resolve_design(design) for design in designs]
+    if not specs:
+        raise ValueError("no designs given")
+    profile_names = [profile.name for profile in resolved_profiles]
+    design_names = [spec.name for spec in specs]
+    ensure_unique_names(
+        "profile", profile_names,
+        hint="dataclasses.replace(profile, name=...) renames a profile",
+    )
+    ensure_unique_names("design", design_names)
+
+    cells = [
+        SweepCell(
+            profile=profile,
+            spec=spec,
+            cores=cores,
+            instructions_per_core=(
+                instructions_per_core or profile.recommended_trace_instructions
+            ),
+            trace_seed_base=trace_seed_base,
+            frontend_config=frontend_config,
+        )
+        for profile in resolved_profiles
+        for spec in specs
+    ]
+    summaries, stats = run_cells(cells, workers=workers, cache=cache)
+    mapping = {
+        (cell.profile.name, cell.spec.name): summary
+        for cell, summary in zip(cells, summaries)
+    }
+    return SweepOutcome(
+        profiles=profile_names,
+        designs=design_names,
+        scale=scale,
+        cells=cells,
+        summaries=mapping,
+        stats=stats,
+    )

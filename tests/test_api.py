@@ -191,6 +191,23 @@ class TestSession:
         with pytest.raises(ValueError, match="not among the designs"):
             small_session.run(["confluence"], baseline="baseline")
 
+    def test_duplicate_design_names_rejected(self, small_session):
+        # Duplicates used to keep both entries in report.order while the
+        # results dict silently collapsed them; now they fail loudly.
+        with pytest.raises(ValueError, match="duplicate design name"):
+            small_session.run(["baseline", "confluence", "baseline"])
+
+    def test_duplicate_via_spec_and_name_rejected(self, small_session):
+        spec = resolve_design("baseline")
+        with pytest.raises(ValueError, match="duplicate design name"):
+            small_session.run([spec, "baseline"])
+
+    def test_derived_spec_with_fresh_name_accepted(self, small_session):
+        thin = resolve_design("baseline").derive("thin", btb_params={"entries": 512})
+        report = small_session.run(["baseline", thin])
+        assert report.designs == ["baseline", "thin"]
+        assert report["thin"]["ipc"] > 0
+
     def test_report_shape(self, small_report):
         assert small_report.designs == ["baseline", "confluence"]
         assert small_report.baseline == "baseline"
@@ -317,3 +334,8 @@ class TestParallelCMP:
         results = cmp_model.run_designs(["baseline", spec])
         assert set(results) == {"baseline", "thin"}
         assert results["thin"].design == "thin"
+
+    def test_run_designs_duplicate_names_rejected(self, tiny_program):
+        cmp_model = ChipMultiprocessor(tiny_program, cores=1, instructions_per_core=5_000)
+        with pytest.raises(ValueError, match="duplicate design name"):
+            cmp_model.run_designs(["baseline", resolve_design("baseline")])

@@ -29,6 +29,7 @@ from repro.isa.instruction import BranchKind, Instruction
 from repro.isa.predecode import Predecoder
 from repro.prefetch import NullPrefetcher
 from repro.workloads import generate_trace
+from repro.workloads.trace import FetchRecord, Trace
 
 
 def _block_with_branches(base=0x4000, branch_offsets=(1, 4, 7), kind=BranchKind.CONDITIONAL):
@@ -199,6 +200,89 @@ class TestFrontendSimulator:
         conf_result = confluence.run(small_trace)
         assert conf_result.l1i_stall_cycles < base_result.l1i_stall_cycles
 
+    def test_repeated_runs_start_clean(self, tiny_program, tiny_trace):
+        # _finalize claims repeated run() calls start clean: both the
+        # in-flight prefetch table AND the cycle counter must rewind (warm
+        # caches/predictors intentionally persist across traces).
+        sim_a, _ = build_design("baseline", tiny_program)
+        sim_b, _ = build_design("baseline", tiny_program)
+        first_a = sim_a.run(tiny_trace)
+        first_b = sim_b.run(tiny_trace)
+        assert first_a == first_b
+        assert sim_a._cycle == 0.0
+        assert sim_a._inflight == {}
+        second_a = sim_a.run(tiny_trace)
+        second_b = sim_b.run(tiny_trace)
+        # Reuse is deterministic: two identically-warmed simulators agree.
+        assert second_a == second_b
+        assert second_a.instructions == first_a.instructions
+
+
+class TestStallTaxonomy:
+    """Pin the misfetch vs direction-misprediction stall accounting."""
+
+    CONFIG = FrontendConfig(warmup_fraction=0.0)
+
+    @staticmethod
+    def _taken_conditional():
+        return FetchRecord(start=0x1000, instruction_count=4, branch_pc=0x100C,
+                           kind=BranchKind.CONDITIONAL, taken=True,
+                           target=0x2000, next_pc=0x2000)
+
+    @staticmethod
+    def _not_taken_conditional():
+        return FetchRecord(start=0x1000, instruction_count=4, branch_pc=0x100C,
+                           kind=BranchKind.CONDITIONAL, taken=False,
+                           target=0x2000, next_pc=0x1010)
+
+    def _not_taken_biased_bpu(self):
+        """A BPU holding a valid BTB entry but predicting not-taken."""
+        bpu = BranchPredictionUnit(ConventionalBTB(entries=64))
+        bpu.resolve(self._taken_conditional())  # installs the BTB entry
+        for _ in range(6):
+            bpu.resolve(self._not_taken_conditional())
+        return bpu
+
+    def test_taken_direction_miss_with_btb_entry_is_not_misfetch(self):
+        bpu = self._not_taken_biased_bpu()
+        prediction = bpu.predict(self._taken_conditional())
+        assert prediction.btb_hit
+        assert not prediction.predicted_taken  # predictor says not-taken
+        assert prediction.direction_mispredicted
+        assert not prediction.misfetch  # fetch fell through; decode saw nothing
+
+    def test_taken_direction_miss_charges_direction_penalty(self):
+        bpu = self._not_taken_biased_bpu()
+        simulator = FrontendSimulator(bpu=bpu, perfect_l1i=True, config=self.CONFIG)
+        result = simulator.run(Trace([self._taken_conditional()], name="dirmiss"))
+        assert result.direction_mispredictions == 1
+        assert result.direction_stall_cycles == self.CONFIG.direction_mispredict_penalty_cycles
+        assert result.misfetches == 0
+        assert result.misfetch_stall_cycles == 0
+
+    def test_btb_miss_on_predicted_taken_branch_is_misfetch(self):
+        # An unconditional branch is always predicted taken; a cold BTB
+        # cannot supply its target, which is the decode-time misfetch case.
+        record = FetchRecord(start=0x1000, instruction_count=4, branch_pc=0x100C,
+                             kind=BranchKind.UNCONDITIONAL, taken=True,
+                             target=0x2000, next_pc=0x2000)
+        simulator = FrontendSimulator(
+            bpu=BranchPredictionUnit(ConventionalBTB(entries=64)),
+            perfect_l1i=True, config=self.CONFIG,
+        )
+        result = simulator.run(Trace([record], name="misfetch"))
+        assert result.misfetches == 1
+        assert result.misfetch_stall_cycles == self.CONFIG.misfetch_penalty_cycles
+        assert result.direction_mispredictions == 0
+        assert result.direction_stall_cycles == 0
+
+    def test_stall_classes_are_disjoint(self):
+        # Every region is charged at most one of the two redirect penalties.
+        bpu = self._not_taken_biased_bpu()
+        taken = self._taken_conditional()
+        prediction = bpu.predict(taken)
+        assert not (prediction.misfetch and prediction.direction_mispredicted)
+
 
 class TestDesignPoints:
     def test_all_named_designs_build(self, tiny_program):
@@ -258,12 +342,22 @@ class TestAreaModel:
 class TestMetrics:
     def test_mpki(self):
         assert mpki(50, 100_000) == pytest.approx(0.5)
-        assert mpki(50, 0) == 0.0
+
+    def test_mpki_rejects_degenerate_instruction_count(self):
+        # A run that measured nothing is broken, not miss-free (the same
+        # loud-failure policy as geometric_mean/normalize).
+        with pytest.raises(ValueError, match="positive instruction count"):
+            mpki(50, 0)
+        with pytest.raises(ValueError, match="positive instruction count"):
+            mpki(0, -3)
 
     def test_miss_coverage_signs(self):
         assert miss_coverage(100, 10) == pytest.approx(0.9)
         assert miss_coverage(100, 150) == pytest.approx(-0.5)
-        assert miss_coverage(0, 10) == 0.0
+
+    def test_miss_coverage_rejects_missless_baseline(self):
+        with pytest.raises(ValueError, match="positive baseline misses"):
+            miss_coverage(0, 10)
 
     def test_speedup(self):
         assert speedup(200, 100) == pytest.approx(2.0)

@@ -1,0 +1,219 @@
+"""Tests for the parallel sweep engine and its on-disk result cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import Session, reports_from_sweep, run_grid
+from repro.core.designs import resolve_design
+from repro.core.frontend import FrontendConfig
+from repro.sweep import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    SweepCell,
+    cell_key,
+    default_cache_dir,
+    run_cells,
+    run_sweep,
+)
+from repro.workloads import get_profile
+
+PROFILES = ["oltp_db2", "dss_qry2"]
+DESIGNS = ["baseline", "confluence"]
+#: Small enough to keep the whole grid (2 x 2 cells, 2 cores) fast.
+GRID_KW = dict(scale=0.08, cores=2, instructions_per_core=6_000)
+
+
+def _cell(**overrides) -> SweepCell:
+    params = dict(
+        profile=get_profile("oltp_db2").scaled(0.08),
+        spec=resolve_design("baseline"),
+        cores=2,
+        instructions_per_core=6_000,
+    )
+    params.update(overrides)
+    return SweepCell(**params)
+
+
+class TestCellKey:
+    def test_key_is_stable_and_deterministic(self):
+        assert _cell().key() == _cell().key()
+        assert len(_cell().key()) == 64  # sha256 hex
+
+    @pytest.mark.parametrize("overrides", [
+        {"cores": 4},
+        {"instructions_per_core": 7_000},
+        {"trace_seed_base": 101},
+        {"spec": resolve_design("confluence")},
+        {"profile": get_profile("dss_qry2").scaled(0.08)},
+        {"frontend_config": FrontendConfig(base_cpi=1.5)},
+    ])
+    def test_any_parameter_change_changes_the_key(self, overrides):
+        assert _cell(**overrides).key() != _cell().key()
+
+    def test_design_param_overrides_reach_the_key(self):
+        thin = resolve_design("baseline").derive(
+            "baseline", label="1K BTB (baseline)", btb_params={"entries": 512}
+        )
+        assert _cell(spec=thin).key() != _cell().key()
+
+    def test_swapping_a_registered_factory_changes_the_key(self):
+        # A cached cell must not survive its component's implementation: the
+        # factory source is part of the key, so re-registering a name under
+        # a different factory invalidates instead of serving stale results.
+        from repro.registry import BTB_REGISTRY
+
+        key_before = _cell().key()
+        original = BTB_REGISTRY.get("conventional")
+
+        def replacement(ctx, **params):
+            return original(ctx, **params)
+
+        BTB_REGISTRY.register("conventional", replacement, overwrite=True)
+        try:
+            assert _cell().key() != key_before
+        finally:
+            BTB_REGISTRY.register("conventional", original, overwrite=True)
+        assert _cell().key() == key_before
+
+
+class TestResultCache:
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("a" * 64) is None
+        assert cache.misses == 1
+        cache.put("a" * 64, {"ipc": 1.25, "cores": 2})
+        assert cache.get("a" * 64) == {"ipc": 1.25, "cores": 2}
+        assert cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("b" * 64 + ".json")).write_text("{not json")
+        assert cache.get("b" * 64) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("c" * 64 + ".json")).write_text(json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION + 1, "summary": {"ipc": 1.0}}
+        ))
+        assert cache.get("c" * 64) is None
+
+    def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert ResultCache().directory == tmp_path / "elsewhere"
+
+    def test_coerce_forms(self, tmp_path):
+        assert ResultCache.coerce(None) is None
+        assert ResultCache.coerce(False) is None
+        assert ResultCache.coerce(True) is not None
+        assert ResultCache.coerce(str(tmp_path)).directory == tmp_path
+        cache = ResultCache(tmp_path)
+        assert ResultCache.coerce(cache) is cache
+
+
+class TestSweepValidation:
+    def test_duplicate_designs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate design"):
+            run_sweep(PROFILES, ["baseline", "baseline"], **GRID_KW)
+
+    def test_duplicate_profiles_rejected(self):
+        with pytest.raises(ValueError, match="duplicate profile"):
+            run_sweep(["oltp_db2", "oltp_db2"], DESIGNS, **GRID_KW)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="no profiles"):
+            run_sweep([], DESIGNS, **GRID_KW)
+        with pytest.raises(ValueError, match="no designs"):
+            run_sweep(PROFILES, [], **GRID_KW)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_cells([_cell()], workers=0)
+
+
+class TestSweepParityAndCache:
+    """The PR's acceptance criterion: parallel == serial, warm rerun == free."""
+
+    @pytest.fixture(scope="class")
+    def serial_reports(self):
+        return run_grid(PROFILES, DESIGNS, **GRID_KW)
+
+    def test_parallel_grid_identical_to_serial(self, serial_reports):
+        parallel = run_grid(PROFILES, DESIGNS, workers=4, **GRID_KW)
+        assert parallel == serial_reports
+
+    def test_core_level_budget_identical_to_serial(self):
+        # More workers than cells and cells wider than the pool they would
+        # fill: the budget goes to each cell's core-level fan-out instead.
+        kw = dict(scale=0.08, cores=3, instructions_per_core=5_000)
+        serial = run_grid(["oltp_db2"], DESIGNS, **kw)
+        boosted = run_grid(["oltp_db2"], DESIGNS, workers=8, **kw)
+        assert boosted == serial
+
+    def test_grid_matches_per_profile_sessions(self, serial_reports):
+        for profile in PROFILES:
+            assert Session(profile=profile, **GRID_KW).run(DESIGNS) \
+                == serial_reports[profile]
+
+    def test_rerun_is_served_entirely_from_cache(self, tmp_path, serial_reports):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(PROFILES, DESIGNS, workers=4, cache=cache, **GRID_KW)
+        assert cold.stats.simulated == len(PROFILES) * len(DESIGNS)
+        assert cold.stats.cache_hits == 0
+
+        warm = run_sweep(PROFILES, DESIGNS, workers=4, cache=cache, **GRID_KW)
+        assert warm.stats.simulated == 0  # zero simulations on the rerun
+        assert warm.stats.cache_hits == len(PROFILES) * len(DESIGNS)
+        assert warm.summaries == cold.summaries
+
+        # And the reports built from cached cells match the uncached path.
+        assert reports_from_sweep(warm) == serial_reports
+
+    def test_session_uses_the_cache(self, tmp_path, serial_reports):
+        cache = ResultCache(tmp_path / "session-cache")
+        first = Session(profile="oltp_db2", cache=cache, **GRID_KW).run(DESIGNS)
+        hits_before = cache.hits
+        second = Session(profile="oltp_db2", cache=cache, **GRID_KW).run(DESIGNS)
+        assert cache.hits == hits_before + len(DESIGNS)
+        assert first == second == serial_reports["oltp_db2"]
+
+    def test_cache_key_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(["oltp_db2"], ["baseline"], cache=cache, **GRID_KW)
+        bumped = dict(GRID_KW, instructions_per_core=7_000)
+        outcome = run_sweep(["oltp_db2"], ["baseline"], cache=cache, **bumped)
+        assert outcome.stats.simulated == 1  # different cell, not a stale hit
+
+
+class TestSweepOutcome:
+    def test_outcome_shape(self):
+        outcome = run_sweep(["oltp_db2"], DESIGNS, **GRID_KW)
+        assert outcome.profiles == ["oltp_db2"]
+        assert outcome.designs == DESIGNS
+        assert outcome.stats.cells == len(DESIGNS)
+        summary = outcome.summary("oltp_db2", "confluence")
+        assert summary["cores"] == 2
+        assert summary["ipc"] > 0
+        assert "speedup" not in summary  # baseline-independent by design
+        assert len(outcome.cells) == len(DESIGNS)
+
+    def test_summaries_are_json_round_trippable(self):
+        outcome = run_sweep(["oltp_db2"], ["baseline"], **GRID_KW)
+        summary = outcome.summary("oltp_db2", "baseline")
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_reports_from_sweep_unknown_baseline_rejected(self):
+        outcome = run_sweep(["oltp_db2"], ["confluence"], **GRID_KW)
+        with pytest.raises(ValueError, match="not among the designs"):
+            reports_from_sweep(outcome, baseline="baseline")
+
+    def test_per_profile_trace_length_defaults(self):
+        # Without an explicit instructions_per_core every profile uses its
+        # own (scaled) recommendation.
+        outcome = run_sweep(["oltp_db2"], ["baseline"], scale=0.08, cores=1)
+        expected = get_profile("oltp_db2").scaled(0.08).recommended_trace_instructions
+        assert outcome.cells[0].instructions_per_core == expected
