@@ -16,6 +16,12 @@ grid benchmarks (``1`` for the default directory — ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro`` — or a path to use as the cache directory).  With it set,
 a smoke run warms the cache, and re-running the suite serves unchanged grid
 cells from disk instead of re-simulating them.
+
+``REPRO_BENCH_TRACE_STORE`` does the same for the packed-trace store (``1``
+for the default directory — ``$REPRO_TRACE_DIR`` or ``<cache>/traces`` — or
+a path): grid benchmarks map per-core traces in from disk instead of
+re-walking the generator, which is what makes *cold* (result-cache-miss)
+runs fast.
 """
 
 from __future__ import annotations
@@ -26,13 +32,14 @@ from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
-from repro.sweep import ResultCache
+from repro.sweep import ResultCache, TraceStore
 from repro.workloads import evaluation_profiles, generate_trace, synthesize_program
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.45"))
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "350000"))
 BENCH_PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "1"))
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "")
+BENCH_TRACE_STORE = os.environ.get("REPRO_BENCH_TRACE_STORE", "")
 
 # The paper-shape assertions need workloads big enough to pressure a 1K-entry
 # BTB and a 32 KB L1-I; below this scale the suite runs as a *smoke test*:
@@ -73,6 +80,16 @@ def bench_cache():
     if BENCH_CACHE == "1":
         return ResultCache()
     return ResultCache(BENCH_CACHE)
+
+
+@pytest.fixture(scope="session")
+def bench_trace_store():
+    """On-disk packed-trace store for grid benchmarks (None unless requested)."""
+    if not BENCH_TRACE_STORE:
+        return None
+    if BENCH_TRACE_STORE == "1":
+        return TraceStore()
+    return TraceStore(BENCH_TRACE_STORE)
 
 
 @pytest.fixture(scope="session")

@@ -3,9 +3,11 @@
 Not a figure of the paper but the machinery every figure-scale study now
 runs through: the grid is executed by ``repro.sweep`` — cells fanned out
 across ``REPRO_BENCH_PARALLEL`` workers, served from the on-disk result
-cache when ``REPRO_BENCH_CACHE`` is set — and folded into per-profile
-RunReports.  A smoke run therefore warms the cache for every later run of
-the same grid.
+cache when ``REPRO_BENCH_CACHE`` is set, per-core traces mapped in from the
+packed-trace store when ``REPRO_BENCH_TRACE_STORE`` is set — and folded
+into per-profile RunReports.  A smoke run therefore warms both stores for
+every later run of the same grid: warm-cache reruns skip simulation
+entirely, and cache-miss (cold) runs still skip trace generation.
 """
 
 from repro.analysis import format_table, grid_speedup_rows
@@ -15,8 +17,8 @@ PROFILES = ("oltp_db2", "web_frontend")
 DESIGNS = ("baseline", "2level_shift", "confluence")
 
 
-def test_grid_sweep_cmp(benchmark, bench_workers, bench_cache, bench_scale,
-                        bench_instructions, shape_assertions):
+def test_grid_sweep_cmp(benchmark, bench_workers, bench_cache, bench_trace_store,
+                        bench_scale, bench_instructions, shape_assertions):
     scale = min(bench_scale, 0.2)
     instructions = min(bench_instructions, 60_000)
 
@@ -29,6 +31,7 @@ def test_grid_sweep_cmp(benchmark, bench_workers, bench_cache, bench_scale,
             instructions_per_core=instructions,
             workers=bench_workers,
             cache=bench_cache,
+            trace_store=bench_trace_store,
         )
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -42,6 +45,11 @@ def test_grid_sweep_cmp(benchmark, bench_workers, bench_cache, bench_scale,
     if bench_cache is not None:
         print(f"cache: {bench_cache.hits} hits, {bench_cache.misses} misses "
               f"({bench_cache.directory})")
+    if bench_trace_store is not None:
+        # Counter objects live per process; under REPRO_BENCH_PARALLEL the
+        # loads happen in pool workers, so only the directory is meaningful
+        # here (SweepStats.traces_generated/loaded are the aggregated view).
+        print(f"trace store: {bench_trace_store.directory}")
 
     assert set(reports) == set(PROFILES)
     for profile in PROFILES:

@@ -90,11 +90,14 @@ from repro.sweep import (
     SweepCell,
     SweepOutcome,
     SweepStats,
+    TraceStore,
     default_cache_dir,
+    default_trace_dir,
     run_sweep,
 )
+from repro.workloads import PackedTrace, Trace, load_packed
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -135,6 +138,11 @@ __all__ = [
     "SweepCell",
     "SweepOutcome",
     "SweepStats",
+    "TraceStore",
+    "PackedTrace",
+    "Trace",
+    "load_packed",
     "default_cache_dir",
+    "default_trace_dir",
     "run_sweep",
 ]

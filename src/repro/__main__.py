@@ -1,9 +1,15 @@
-"""Command-line entry points: ``python -m repro sweep``.
+"""Command-line entry points: ``python -m repro sweep`` / ``... trace``.
 
-The sweep subcommand runs a (profile x design) grid through
+The ``sweep`` subcommand runs a (profile x design) grid through
 :mod:`repro.sweep` — fanned out across worker processes, served from the
-on-disk result cache when the same cell has been simulated before — and
-prints one RunReport table per profile plus the cache hit/miss accounting.
+on-disk result cache when the same cell has been simulated before, per-core
+traces mapped in from the shared trace store — and prints one RunReport
+table per profile plus the cache and trace-store accounting.
+
+The ``trace`` subcommand works with packed trace artifacts directly:
+``--out`` generates a trace and streams it to a columnar file, ``--verify``
+reloads it and asserts its statistics match a fresh generator walk (the CI
+round-trip guard), and ``--info`` describes an existing artifact.
 
 Examples::
 
@@ -16,8 +22,16 @@ Examples::
     python -m repro sweep --profiles oltp_db2 dss_qry2 \\
         --designs baseline confluence --scale 0.1 --cores 4 --expect-cached
 
-The cache lives under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``);
-``--cache-dir`` overrides it and ``--no-cache`` disables it.
+    # pack a trace artifact, prove the round trip, inspect it
+    python -m repro trace --profile oltp_db2 --scale 0.1 \\
+        --instructions 50000 --seed 3 --out /tmp/oltp.trace --verify
+    python -m repro trace --info /tmp/oltp.trace
+
+The result cache lives under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``); ``--cache-dir`` overrides it and ``--no-cache``
+disables it.  The trace store lives under ``$REPRO_TRACE_DIR`` (default
+``<cache dir>/traces``); ``--trace-dir`` overrides it and
+``--no-trace-store`` disables it.
 """
 
 from __future__ import annotations
@@ -30,7 +44,13 @@ from typing import List, Optional
 from repro.analysis.reporting import format_table
 from repro.api import reports_from_sweep
 from repro.core.designs import DESIGN_POINTS
-from repro.sweep import ResultCache, default_cache_dir, run_sweep
+from repro.sweep import (
+    ResultCache,
+    TraceStore,
+    default_cache_dir,
+    default_trace_dir,
+    run_sweep,
+)
 from repro.workloads.profiles import WORKLOAD_PROFILES
 
 
@@ -79,9 +99,43 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the on-disk result cache")
     sweep.add_argument("--expect-cached", action="store_true",
                        help="fail (exit 1) if any cell had to be simulated")
+    sweep.add_argument("--trace-dir", default=None,
+                       help=f"packed-trace store directory (default: {default_trace_dir()})")
+    sweep.add_argument("--no-trace-store", action="store_true",
+                       help="disable the on-disk trace store (always generate)")
+    sweep.add_argument("--expect-trace-cached", action="store_true",
+                       help="fail (exit 1) if any trace had to be generated")
     sweep.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the reports as JSON instead of tables")
     sweep.set_defaults(handler=_run_sweep_command)
+
+    trace = commands.add_parser(
+        "trace",
+        help="pack, verify and inspect columnar trace artifacts",
+        description=(
+            "Generate a workload trace into a packed columnar artifact "
+            "(--out, optionally --verify to prove the round trip) or "
+            "describe an existing one (--info)."
+        ),
+    )
+    trace.add_argument("--profile", default=None, metavar="NAME",
+                       help="workload profile to generate from")
+    trace.add_argument("--scale", type=float, default=1.0,
+                       help="profile footprint/trace scale factor (default 1.0)")
+    trace.add_argument("--instructions", type=int, default=None,
+                       help="trace length (default: profile recommendation)")
+    trace.add_argument("--seed", type=int, default=1,
+                       help="trace generation seed (default 1)")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the packed trace to PATH")
+    trace.add_argument("--verify", action="store_true",
+                       help="after writing, reload the artifact and assert its "
+                            "statistics match a fresh generator walk")
+    trace.add_argument("--info", default=None, metavar="PATH",
+                       help="describe an existing packed trace artifact")
+    trace.add_argument("--chunk-regions", type=int, default=1 << 16,
+                       help="streaming chunk size in fetch regions (default 65536)")
+    trace.set_defaults(handler=_run_trace_command)
     return parser
 
 
@@ -91,6 +145,11 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         cache = None
     else:
         cache = ResultCache(args.cache_dir)
+    trace_store: Optional[TraceStore]
+    if args.no_trace_store:
+        trace_store = None
+    else:
+        trace_store = TraceStore(args.trace_dir)
     outcome = run_sweep(
         args.profiles,
         args.designs,
@@ -100,6 +159,7 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         trace_seed_base=args.trace_seed_base,
         workers=args.workers,
         cache=cache,
+        trace_store=trace_store,
     )
     reports = reports_from_sweep(outcome, baseline=args.baseline)
 
@@ -110,6 +170,8 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
                 "cells": outcome.stats.cells,
                 "simulated": outcome.stats.simulated,
                 "cache_hits": outcome.stats.cache_hits,
+                "traces_generated": outcome.stats.traces_generated,
+                "traces_loaded": outcome.stats.traces_loaded,
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -128,6 +190,14 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             f"cells: {outcome.stats.cells} — {outcome.stats.simulated} simulated, "
             f"{outcome.stats.cache_hits} from cache{where}"
         )
+        trace_where = (
+            f" ({trace_store.directory})" if trace_store is not None
+            else " (trace store disabled)"
+        )
+        print(
+            f"traces: {outcome.stats.traces_generated} generated, "
+            f"{outcome.stats.traces_loaded} loaded from store{trace_where}"
+        )
 
     if args.expect_cached and outcome.stats.simulated:
         print(
@@ -136,6 +206,117 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.expect_trace_cached and outcome.stats.traces_generated:
+        print(
+            f"--expect-trace-cached: {outcome.stats.traces_generated} traces "
+            "were generated instead of loaded from the trace store",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _print_trace_stats(name: str, instruction_count: int, stats) -> None:
+    print(f"trace: {name}")
+    print(f"  fetch regions:        {stats.fetch_region_count}")
+    print(f"  instructions:         {instruction_count}")
+    print(f"  branches:             {stats.branch_count} "
+          f"({stats.taken_branch_count} taken)")
+    print(f"  conditionals:         {stats.conditional_count} "
+          f"({stats.conditional_taken_count} taken)")
+    print(f"  calls/returns:        {stats.call_count}/{stats.return_count}")
+    print(f"  indirect branches:    {stats.indirect_count}")
+    print(f"  unique blocks:        {stats.unique_blocks} "
+          f"({stats.instruction_footprint_bytes / 1024:.1f} KB footprint)")
+    print(f"  unique taken branches:{stats.unique_taken_branches}")
+    print(f"  avg region length:    {stats.average_region_length:.2f}")
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    from repro.workloads import TraceWalker, get_profile, load_packed, synthesize_program
+    from repro.workloads.packed import save_chunks
+    from repro.workloads.trace import Trace, TraceStatistics
+
+    if args.info is None and args.out is None:
+        print("trace: one of --out or --info is required", file=sys.stderr)
+        return 2
+    if args.info is not None and (args.out is not None or args.verify):
+        print("trace: --info cannot be combined with --out/--verify",
+              file=sys.stderr)
+        return 2
+
+    if args.info is not None:
+        try:
+            packed = load_packed(args.info)
+        except (OSError, ValueError) as error:
+            print(f"trace: cannot read {args.info}: {error}", file=sys.stderr)
+            return 1
+        trace = Trace.from_packed(packed)
+        _print_trace_stats(trace.name, trace.instruction_count, trace.statistics())
+        return 0
+
+    if args.profile is None:
+        print("trace: --out requires --profile", file=sys.stderr)
+        return 2
+    profile = get_profile(args.profile)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    instructions = (
+        args.instructions
+        if args.instructions is not None
+        else profile.recommended_trace_instructions
+    )
+    program = synthesize_program(profile)
+
+    # Stream the walk to disk chunk by chunk, folding statistics as each
+    # chunk passes through: the artifact never has to fit in memory, which
+    # is the point of the chunked on-disk format.
+    walker = TraceWalker(program, seed=args.seed)
+    counters = [0] * 9
+    blocks: set = set()
+    taken_pcs: set = set()
+
+    def folded(chunks):
+        for chunk in chunks:
+            chunk.fold_statistics(counters, blocks, taken_pcs)
+            yield chunk
+
+    try:
+        save_chunks(
+            args.out,
+            profile.name,
+            folded(walker.run_chunks(instructions, chunk_regions=args.chunk_regions)),
+        )
+    except (OSError, ValueError) as error:
+        print(f"trace: cannot write {args.out}: {error}", file=sys.stderr)
+        return 1
+    stats = TraceStatistics(*counters, len(blocks), len(taken_pcs))
+    _print_trace_stats(profile.name, stats.instruction_count, stats)
+    print(f"wrote {args.out}")
+
+    if args.verify:
+        # The round-trip proof: the artifact must read back and describe
+        # exactly the trace a fresh generator walk produces.
+        try:
+            reloaded = Trace.from_packed(load_packed(args.out))
+        except (OSError, ValueError) as error:
+            print(f"--verify: cannot read back {args.out}: {error}",
+                  file=sys.stderr)
+            return 1
+        artifact_stats = reloaded.statistics()
+        fresh = TraceWalker(program, seed=args.seed).run(
+            instructions, name=profile.name
+        )
+        fresh_stats = fresh.statistics()
+        if fresh_stats != artifact_stats or artifact_stats != stats \
+                or len(fresh) != len(reloaded):
+            print(
+                "--verify: reloaded artifact does not match the generator "
+                f"output\n  generator: {fresh_stats}\n  artifact:  {artifact_stats}",
+                file=sys.stderr,
+            )
+            return 1
+        print("--verify: artifact statistics match the generator output")
     return 0
 
 

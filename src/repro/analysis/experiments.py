@@ -53,22 +53,41 @@ def run_btb_coverage(
 
     Returns ``(taken_misses, measured_instructions)`` for the post-warmup
     portion, following the paper's miss definition (entry for a predicted
-    taken branch absent at lookup time).
+    taken branch absent at lookup time).  The walk reads the packed columns
+    directly — no record objects on this path.
     """
-    records = trace.records
-    boundary = int(len(records) * warmup_fraction)
+    from repro.workloads.packed import NO_VALUE, kind_from_code
+
+    packed = trace.packed
+    boundary = int(len(packed) * warmup_fraction)
     taken_misses = 0
     instructions = 0
-    for index, record in enumerate(records):
+    lookup = btb.lookup
+    update = btb.update
+    for index, (count, branch_pc, code, taken_flag, target) in enumerate(
+        zip(
+            packed.instruction_counts,
+            packed.branch_pcs,
+            packed.kinds,
+            packed.takens,
+            packed.targets,
+        )
+    ):
         measured = index >= boundary
         if measured:
-            instructions += record.instruction_count
-        if record.branch_pc is None:
+            instructions += count
+        if branch_pc == NO_VALUE:
             continue
-        result = btb.lookup(record.branch_pc, taken=record.taken)
-        if measured and record.is_taken_branch and not result.hit:
+        taken = bool(taken_flag)
+        result = lookup(branch_pc, taken=taken)
+        if measured and taken and not result.hit:
             taken_misses += 1
-        btb.update(record.branch_pc, record.kind, record.target, record.taken)
+        update(
+            branch_pc,
+            kind_from_code(code),
+            target if target != NO_VALUE else None,
+            taken,
+        )
     return taken_misses, instructions
 
 
@@ -100,9 +119,7 @@ def branch_density_table(program: SyntheticProgram, trace: Trace) -> Dict[str, f
     the trace (what a predecoder sees); dynamic counts the distinct taken
     branches exercised per block visit episode (what the BTB actually needs).
     """
-    touched = set()
-    for record in trace.records:
-        touched.update(record.blocks())
+    touched = set(trace.packed.iter_blocks())
     static_total = 0
     counted = 0
     for block_addr in touched:

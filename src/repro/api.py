@@ -39,6 +39,7 @@ from repro.sweep import (
     ResultCache,
     SweepCell,
     SweepOutcome,
+    TraceStore,
     cmp_driver,
     run_cells,
     run_sweep,
@@ -174,6 +175,11 @@ class Session:
             default directory (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), a
             path, or a :class:`repro.sweep.ResultCache`; ``None`` (default)
             disables caching.
+        trace_store: on-disk packed-trace artifact store — ``True`` for the
+            default directory (``$REPRO_TRACE_DIR`` or ``<cache>/traces``), a
+            path, or a :class:`repro.sweep.TraceStore`; ``None`` (default)
+            generates traces in-process.  Stored traces are shared by every
+            design, run and process touching the same workload parameters.
     """
 
     def __init__(
@@ -186,6 +192,7 @@ class Session:
         trace_seed_base: int = 100,
         workers: Optional[int] = None,
         cache: Union[None, bool, str, Path, ResultCache] = None,
+        trace_store: Union[None, bool, str, Path, TraceStore] = None,
     ) -> None:
         if isinstance(profile, str):
             profile = get_profile(profile)
@@ -201,6 +208,7 @@ class Session:
         self.trace_seed_base = trace_seed_base
         self.workers = workers
         self.cache = ResultCache.coerce(cache)
+        self.trace_store = TraceStore.coerce(trace_store)
         self._program: Optional[SyntheticProgram] = None
         self._cmp: Optional[ChipMultiprocessor] = None
 
@@ -226,6 +234,7 @@ class Session:
                     self.instructions_per_core,
                     self.trace_seed_base,
                     self.frontend_config,
+                    trace_store=self.trace_store,
                 )
             else:
                 # A session-level core-parallel default is baked into the
@@ -237,6 +246,7 @@ class Session:
                     frontend_config=self.frontend_config,
                     trace_seed_base=self.trace_seed_base,
                     workers=self.workers,
+                    trace_store=self.trace_store,
                 )
         return self._cmp
 
@@ -276,7 +286,9 @@ class Session:
             )
             for spec in specs
         ]
-        summaries, _ = run_cells(cells, workers=workers, cache=self.cache)
+        summaries, _ = run_cells(
+            cells, workers=workers, cache=self.cache, trace_store=self.trace_store
+        )
         return _assemble_report(
             profile=self.profile.name,
             scale=self.scale,

@@ -89,14 +89,31 @@ class BranchPredictionUnit:
 
     def predict(self, record: FetchRecord) -> BranchPrediction:
         """Predict the outcome of the fetch region's terminating branch."""
+        return self.predict_region(
+            record.branch_pc,
+            record.kind,
+            record.taken,
+            record.next_pc,
+            record.fallthrough,
+        )
+
+    def predict_region(
+        self,
+        branch_pc: Optional[int],
+        kind: Optional[BranchKind],
+        taken: bool,
+        next_pc: int,
+        fallthrough: int,
+    ) -> BranchPrediction:
+        """Record-free :meth:`predict`: the packed fast path calls this with
+        column values directly (``fallthrough`` is the address following the
+        terminating branch, or the region end when there is no branch)."""
         self.predictions += 1
-        branch_pc = record.branch_pc
         if branch_pc is None:
             result = BTBLookupResult(False, None, 0, "none")
-            return BranchPrediction(result, False, record.next_pc, False, record.next_pc)
+            return BranchPrediction(result, False, next_pc, False, next_pc)
 
-        result = self.btb.lookup(branch_pc, taken=record.taken)
-        kind = record.kind
+        result = self.btb.lookup(branch_pc, taken=taken)
 
         if kind is BranchKind.CONDITIONAL:
             predicted_taken = self.direction.predict(branch_pc)
@@ -105,7 +122,7 @@ class BranchPredictionUnit:
 
         predicted_target: Optional[int]
         if not predicted_taken:
-            predicted_target = record.fallthrough
+            predicted_target = fallthrough
         elif kind is BranchKind.RETURN:
             predicted_target = self.ras.peek()
         elif kind is not None and kind.is_indirect:
@@ -117,8 +134,8 @@ class BranchPredictionUnit:
             btb_result=result,
             predicted_taken=predicted_taken,
             predicted_target=predicted_target,
-            actual_taken=record.taken,
-            actual_target=record.next_pc,
+            actual_taken=taken,
+            actual_target=next_pc,
         )
         if prediction.misfetch:
             self.misfetches += 1
@@ -128,19 +145,36 @@ class BranchPredictionUnit:
 
     def resolve(self, record: FetchRecord) -> None:
         """Train every component with the resolved branch."""
-        branch_pc = record.branch_pc
+        self.resolve_region(
+            record.branch_pc,
+            record.kind,
+            record.taken,
+            record.target,
+            record.next_pc,
+            record.fallthrough,
+        )
+
+    def resolve_region(
+        self,
+        branch_pc: Optional[int],
+        kind: Optional[BranchKind],
+        taken: bool,
+        target: Optional[int],
+        next_pc: int,
+        fallthrough: int,
+    ) -> None:
+        """Record-free :meth:`resolve` (the packed fast path's trainer)."""
         if branch_pc is None:
             return
-        kind = record.kind
         if kind is BranchKind.CONDITIONAL:
-            self.direction.update(branch_pc, record.taken)
+            self.direction.update(branch_pc, taken)
         if kind is not None and kind.is_call:
-            self.ras.push(record.fallthrough)
+            self.ras.push(fallthrough)
         if kind is BranchKind.RETURN:
             self.ras.pop()
         if kind is not None and kind.is_indirect and kind is not BranchKind.RETURN:
-            self.indirect.update(branch_pc, record.next_pc)
-        self.btb.update(branch_pc, kind, record.target, record.taken)
+            self.indirect.update(branch_pc, next_pc)
+        self.btb.update(branch_pc, kind, target, taken)
 
     @property
     def misfetch_rate(self) -> float:

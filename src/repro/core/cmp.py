@@ -80,8 +80,13 @@ class CMPResult:
                     self.instructions)
 
     def speedup_over(self, baseline: "CMPResult") -> float:
+        # A zero-IPC operand measured nothing; fail loudly (the mpki /
+        # miss_coverage degenerate-denominator policy), never report 0x.
         if self.ipc == 0 or baseline.ipc == 0:
-            return 0.0
+            raise ValueError(
+                "speedup_over is undefined when either result has zero IPC "
+                f"(self.ipc={self.ipc}, baseline.ipc={baseline.ipc})"
+            )
         return self.ipc / baseline.ipc
 
 
@@ -127,6 +132,7 @@ class ChipMultiprocessor:
         frontend_config: Optional[FrontendConfig] = None,
         trace_seed_base: int = 100,
         workers: Optional[int] = None,
+        trace_store=None,
     ) -> None:
         if cores <= 0:
             raise ValueError("a CMP needs at least one core")
@@ -141,19 +147,41 @@ class ChipMultiprocessor:
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
         self.workers = workers
+        #: Optional :class:`repro.sweep.TraceStore`: per-core traces become
+        #: shared on-disk artifacts, loaded instead of re-generated.
+        self.trace_store = trace_store
+        #: How this driver's traces were obtained (observability; the sweep
+        #: engine folds these into :class:`repro.sweep.SweepStats`).
+        self.traces_generated = 0
+        self.traces_loaded = 0
         self._traces = None
 
     def _core_traces(self):
         if self._traces is None:
-            self._traces = [
-                generate_trace(
-                    self.program,
-                    self.instructions_per_core,
-                    seed=self.trace_seed_base + core,
-                    name=f"{self.profile.name}/core{core}",
-                )
-                for core in range(self.cores)
-            ]
+            store = self.trace_store
+            traces = []
+            for core in range(self.cores):
+                seed = self.trace_seed_base + core
+                name = f"{self.profile.name}/core{core}"
+                trace = None
+                if store is not None:
+                    trace = store.load(
+                        self.profile, self.instructions_per_core, seed, name=name
+                    )
+                if trace is not None:
+                    self.traces_loaded += 1
+                else:
+                    trace = generate_trace(
+                        self.program,
+                        self.instructions_per_core,
+                        seed=seed,
+                        name=name,
+                    )
+                    self.traces_generated += 1
+                    if store is not None:
+                        store.put(self.profile, self.instructions_per_core, seed, trace)
+                traces.append(trace)
+            self._traces = traces
         return self._traces
 
     def _llc_config(self) -> LLCConfig:

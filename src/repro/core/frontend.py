@@ -30,7 +30,12 @@ from repro.caches.l1i import InstructionCache
 from repro.caches.llc import SharedLLC
 from repro.core.confluence import Confluence
 from repro.core.metrics import mpki
+from repro.isa.instruction import (
+    BLOCK_SIZE_BYTES,
+    INSTRUCTION_SIZE_BYTES,
+)
 from repro.prefetch.base import InstructionPrefetcher, NullPrefetcher, PrefetchContext
+from repro.workloads.packed import KIND_CODES, NO_VALUE
 from repro.workloads.trace import FetchRecord, Trace
 
 
@@ -104,9 +109,17 @@ class FrontendResult:
         return mpki(self.l1i_misses, self.instructions)
 
     def speedup_over(self, baseline: "FrontendResult") -> float:
-        """Performance (IPC) relative to ``baseline``."""
+        """Performance (IPC) relative to ``baseline``.
+
+        A zero-IPC operand means one of the results measured nothing; that
+        must fail loudly (like ``mpki``/``miss_coverage``), not read as a
+        0x "slowdown".
+        """
         if self.ipc == 0 or baseline.ipc == 0:
-            return 0.0
+            raise ValueError(
+                "speedup_over is undefined when either result has zero IPC "
+                f"(self.ipc={self.ipc}, baseline.ipc={baseline.ipc})"
+            )
         return self.ipc / baseline.ipc
 
 
@@ -142,10 +155,23 @@ class FrontendSimulator:
     # Simulation loop
     # ------------------------------------------------------------------ #
 
-    def run(self, trace: Trace, warmup_fraction: Optional[float] = None) -> FrontendResult:
-        """Simulate ``trace``; statistics cover the post-warmup portion."""
-        records = trace.records
+    def run(
+        self,
+        trace: Trace,
+        warmup_fraction: Optional[float] = None,
+        use_packed: bool = True,
+    ) -> FrontendResult:
+        """Simulate ``trace``; statistics cover the post-warmup portion.
+
+        When the trace carries its columnar form (every :class:`Trace` does),
+        the packed fast path walks the columns directly; ``use_packed=False``
+        forces the record-view path.  Both produce bit-identical results —
+        the parity test in ``tests/test_frontend_parity.py`` pins this.
+        """
         warmup = warmup_fraction if warmup_fraction is not None else self.config.warmup_fraction
+        if use_packed and getattr(trace, "packed", None) is not None:
+            return self._run_packed(trace, warmup)
+        records = trace.records
         warmup_boundary = int(len(records) * warmup)
         result = FrontendResult(design=self.design_name, workload=trace.name)
         llc_latency = self.llc.round_trip_latency_cycles
@@ -154,6 +180,177 @@ class FrontendSimulator:
             measured = index >= warmup_boundary
             self._simulate_region(records, index, record, llc_latency, result, measured)
 
+        self._finalize(result)
+        return result
+
+    def _run_packed(self, trace: Trace, warmup: float) -> FrontendResult:
+        """Columnar fast loop: one pass over the packed arrays, no records.
+
+        This mirrors :meth:`_simulate_region` operation for operation — same
+        component calls, same accumulation order — so the results are
+        bit-identical; only the Python-level record/attribute overhead is
+        gone.
+        """
+        packed = trace.packed
+        records = trace.records  # lazy view, handed to custom prefetchers
+        total = len(packed)
+        warmup_boundary = int(total * warmup)
+        result = FrontendResult(design=self.design_name, workload=trace.name)
+
+        config = self.config
+        base_cpi = config.base_cpi
+        misfetch_penalty = config.misfetch_penalty_cycles
+        direction_penalty = config.direction_mispredict_penalty_cycles
+        llc_latency = self.llc.round_trip_latency_cycles
+        demand_penalty = (
+            self.confluence.demand_fill_penalty_cycles
+            if self.confluence is not None
+            else 0
+        )
+        perfect = self.perfect_l1i
+        bpu = self.bpu
+        predict = bpu.predict_region
+        resolve = bpu.resolve_region
+        l1i = self.l1i
+        l1i_access = l1i.access
+        l1i_fill = l1i.fill
+        l1i_contains = l1i.contains
+        llc_fetch = self.llc.fetch_instruction_block
+        prefetcher = self.prefetcher
+        prefetch_targets = prefetcher.prefetch_targets
+        max_lead = prefetcher.max_lead_cycles
+        inflight = self._inflight
+        cycle = self._cycle
+
+        starts = packed.starts
+        instruction_counts = packed.instruction_counts
+        branch_pcs = packed.branch_pcs
+        kinds = packed.kinds
+        takens = packed.takens
+        target_col = packed.targets
+        next_pcs = packed.next_pcs
+        block_firsts = packed.block_firsts
+        block_counts = packed.block_counts
+        block_size = BLOCK_SIZE_BYTES
+        instruction_size = INSTRUCTION_SIZE_BYTES
+        kind_table = KIND_CODES
+
+        for index in range(total):
+            count = instruction_counts[index]
+            raw_branch_pc = branch_pcs[index]
+            taken = bool(takens[index])
+            next_pc = next_pcs[index]
+            if raw_branch_pc == NO_VALUE:
+                branch_pc = None
+                kind = None
+                fallthrough = starts[index] + count * instruction_size
+            else:
+                branch_pc = raw_branch_pc
+                # A branch may still carry no kind (records are permitted to);
+                # the -1 sentinel must decode to None, never wrap the table.
+                code = kinds[index]
+                kind = kind_table[code] if code >= 0 else None
+                fallthrough = raw_branch_pc + instruction_size
+
+            # --- branch prediction ------------------------------------------
+            prediction = predict(branch_pc, kind, taken, next_pc, fallthrough)
+            btb_result = prediction.btb_result
+            btb_bubble = 0
+            if btb_result.hit and btb_result.latency_cycles > 1:
+                btb_bubble = btb_result.latency_cycles - 1
+            misfetch = prediction.misfetch
+            direction_miss = not prediction.direction_correct and branch_pc is not None
+
+            # --- instruction fetch ------------------------------------------
+            fetch_stall = 0
+            demand_miss_block: Optional[int] = None
+            prefetch_hits = 0
+            misses = 0
+            accesses = 0
+            first = block_firsts[index]
+            stop = first + block_counts[index] * block_size
+            for block in range(first, stop, block_size):
+                accesses += 1
+                if perfect:
+                    continue
+                if l1i_access(block):
+                    ready = inflight.pop(block, None)
+                    if ready is not None:
+                        remaining = max(0.0, ready - cycle)
+                        if max_lead is not None:
+                            remaining = max(remaining, llc_latency - max_lead)
+                        fetch_stall += int(round(remaining))
+                        prefetch_hits += 1
+                    continue
+                misses += 1
+                demand_miss_block = block if demand_miss_block is None else demand_miss_block
+                fetch_stall += llc_latency + demand_penalty
+                llc_fetch(block)
+                l1i_fill(block, demand=True)
+
+            # --- cycle accounting -------------------------------------------
+            cycle += count * base_cpi
+            if misfetch:
+                cycle += misfetch_penalty
+            if direction_miss:
+                cycle += direction_penalty
+            cycle += btb_bubble + fetch_stall
+
+            # --- prefetching ------------------------------------------------
+            context = PrefetchContext(
+                records=records,
+                index=index,
+                cycle=cycle,
+                l1i=l1i,
+                bpu=bpu,
+                demand_miss_block=demand_miss_block,
+                packed=packed,
+            )
+            issued = 0
+            for target in prefetch_targets(context):
+                if perfect:
+                    break
+                if l1i_contains(target) or target in inflight:
+                    continue
+                inflight[target] = cycle + llc_latency
+                llc_fetch(target)
+                l1i_fill(target, demand=False)
+                issued += 1
+
+            # --- resolution / training --------------------------------------
+            raw_target = target_col[index]
+            resolve(
+                branch_pc,
+                kind,
+                taken,
+                raw_target if raw_target != NO_VALUE else None,
+                next_pc,
+                fallthrough,
+            )
+
+            if index < warmup_boundary:
+                continue
+            result.instructions += count
+            result.fetch_regions += 1
+            result.base_cycles += count * base_cpi
+            result.misfetch_stall_cycles += misfetch_penalty if misfetch else 0
+            result.direction_stall_cycles += direction_penalty if direction_miss else 0
+            result.btb_latency_stall_cycles += btb_bubble
+            result.l1i_stall_cycles += fetch_stall
+            result.misfetches += int(misfetch)
+            if branch_pc is not None and taken:
+                result.btb_taken_lookups += 1
+                if not btb_result.hit:
+                    result.btb_taken_misses += 1
+            if btb_result.level in ("l2",):
+                result.second_level_accesses += 1
+            result.l1i_accesses += accesses
+            result.l1i_misses += misses
+            result.l1i_prefetch_hits += prefetch_hits
+            result.direction_mispredictions += int(not prediction.direction_correct)
+            result.prefetches_issued += issued
+
+        self._cycle = cycle
         self._finalize(result)
         return result
 

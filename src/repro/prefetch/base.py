@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
+from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.registry import PREFETCHER_REGISTRY, BuildContext
+from repro.workloads.packed import PackedTrace
 from repro.workloads.trace import FetchRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -33,6 +34,10 @@ class PrefetchContext:
         bpu: the core's branch prediction unit (used by FDP to run ahead).
         demand_miss_block: block address of the L1-I miss that triggered this
             call, or None when the current region hit.
+        packed: the columnar form of the trace, when the engine runs the
+            packed fast path; prefetchers that walk ahead (FDP) read the
+            columns directly, and :meth:`region_blocks` serves the current
+            region's block span from the precomputed columns.
     """
 
     records: Sequence[FetchRecord]
@@ -41,10 +46,17 @@ class PrefetchContext:
     l1i: "InstructionCache"
     bpu: Optional["BranchPredictionUnit"] = None
     demand_miss_block: Optional[int] = None
+    packed: Optional[PackedTrace] = None
 
     @property
     def current_record(self) -> FetchRecord:
         return self.records[self.index]
+
+    def region_blocks(self) -> Tuple[int, ...]:
+        """Block addresses of the current region, whichever path is active."""
+        if self.packed is not None:
+            return self.packed.region_blocks(self.index)
+        return self.current_record.blocks()
 
 
 class InstructionPrefetcher(abc.ABC):

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.isa.instruction import BranchKind
+from repro.isa.instruction import BLOCK_SIZE_BYTES, BranchKind
 from repro.prefetch.base import InstructionPrefetcher, PrefetchContext
 from repro.registry import PREFETCHER_REGISTRY, BuildContext
+from repro.workloads.packed import NO_VALUE, kind_code
 
 
 class FetchDirectedPrefetcher(InstructionPrefetcher):
@@ -46,6 +47,14 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
         bpu = context.bpu
         if bpu is None:
             return []
+        if context.packed is not None:
+            targets = self._targets_packed(context, bpu)
+        else:
+            targets = self._targets_records(context, bpu)
+        self.issued_prefetches += len(targets)
+        return targets
+
+    def _targets_records(self, context: PrefetchContext, bpu) -> List[int]:
         targets: List[int] = []
         records = context.records
         limit = min(len(records), context.index + 1 + self.queue_depth)
@@ -66,7 +75,37 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
             for block in record.blocks():
                 if not context.l1i.contains(block) and block not in targets:
                     targets.append(block)
-        self.issued_prefetches += len(targets)
+        return targets
+
+    def _targets_packed(self, context: PrefetchContext, bpu) -> List[int]:
+        """Columnar runahead: same walk, straight off the packed columns."""
+        targets: List[int] = []
+        packed = context.packed
+        branch_pcs = packed.branch_pcs
+        kinds = packed.kinds
+        takens = packed.takens
+        block_firsts = packed.block_firsts
+        block_counts = packed.block_counts
+        conditional = kind_code(BranchKind.CONDITIONAL)
+        l1i = context.l1i
+        limit = min(len(packed), context.index + 1 + self.queue_depth)
+        for position in range(context.index + 1, limit):
+            previous = position - 1
+            branch_pc = branch_pcs[previous]
+            if branch_pc != NO_VALUE:
+                if kinds[previous] == conditional:
+                    predicted_taken = bpu.direction.predict(branch_pc)
+                    if predicted_taken != bool(takens[previous]):
+                        self.runahead_stops_on_misprediction += 1
+                        break
+                if takens[previous] and not self._btb_has(bpu, branch_pc):
+                    self.runahead_stops_on_btb_miss += 1
+                    break
+            first = block_firsts[position]
+            stop = first + block_counts[position] * BLOCK_SIZE_BYTES
+            for block in range(first, stop, BLOCK_SIZE_BYTES):
+                if not l1i.contains(block) and block not in targets:
+                    targets.append(block)
         return targets
 
     @staticmethod

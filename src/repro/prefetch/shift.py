@@ -214,13 +214,12 @@ class ShiftPrefetcher(InstructionPrefetcher):
 
     def prefetch_targets(self, context: PrefetchContext) -> Iterable[int]:
         targets: List[int] = []
-        record = context.current_record
         # Re-anchoring decisions happen *before* recording the current access:
         # the index must resolve to the previous occurrence of the missing
         # block, whose successors are the blocks about to be needed.
         if context.demand_miss_block is not None:
             self._on_demand_miss(context.demand_miss_block, targets)
-        for block in record.blocks():
+        for block in context.region_blocks():
             self._confirm(block, targets)
             if self.record_history and block != self._last_recorded_block:
                 self.history.record(block)

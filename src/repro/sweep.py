@@ -18,6 +18,15 @@ nearly free:
   from disk instead of re-simulated, and any parameter change (a different
   seed, one more core, a derived spec) naturally misses.  The cache lives
   under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
+* Traces themselves are **shared on-disk artifacts** (:class:`TraceStore`):
+  a per-core trace is a pure function of (profile, seed, length), so the
+  first run packs it into a compact columnar file (see
+  :mod:`repro.workloads.packed`) and every later consumer — any design of
+  the grid, any future run, any process — loads the columns back instead of
+  re-walking the generator.  The store lives under ``$REPRO_TRACE_DIR``
+  (default ``<cache dir>/traces``); ``SweepStats.traces_generated`` /
+  ``traces_loaded`` make its behavior observable, mirroring the result
+  cache's counters.
 
 :func:`run_sweep` is the high-level entry point; ``repro.api.run_grid`` and
 :class:`repro.api.Session` are built on top of it, and
@@ -50,28 +59,39 @@ from repro.registry import (
     ensure_unique_names,
 )
 from repro.workloads.cfg import SyntheticProgram, synthesize_program
+from repro.workloads.packed import PACKED_TRACE_FORMAT_VERSION, load_packed
 from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.trace import Trace
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
     "ResultCache",
     "SweepCell",
     "SweepOutcome",
     "SweepStats",
+    "TraceStore",
     "cell_key",
     "clear_workload_memo",
     "cmp_driver",
     "default_cache_dir",
+    "default_trace_dir",
     "run_cells",
     "run_sweep",
     "simulate_cell",
     "summarize_result",
+    "trace_key",
     "workload_program",
 ]
 
 #: Bumped whenever the simulator or the summary layout changes meaning:
 #: entries written under another schema are ignored, never misread.
 CACHE_SCHEMA_VERSION = 1
+
+#: Joins the trace-store key: bumped whenever trace *generation* changes
+#: meaning (the walker's algorithm or the packed column semantics), so stale
+#: artifacts miss instead of being replayed as current.
+TRACE_SCHEMA_VERSION = 1
 
 
 # --------------------------------------------------------------------------- #
@@ -232,6 +252,121 @@ class ResultCache:
 
 
 # --------------------------------------------------------------------------- #
+# Content-addressed trace store
+# --------------------------------------------------------------------------- #
+
+def default_trace_dir() -> Path:
+    """``$REPRO_TRACE_DIR`` when set, else ``<result cache dir>/traces``."""
+    override = os.environ.get("REPRO_TRACE_DIR")
+    if override:
+        return Path(override)
+    return default_cache_dir() / "traces"
+
+
+def trace_key(profile: WorkloadProfile, instructions: int, seed: int) -> str:
+    """Stable content hash of everything a trace is a pure function of.
+
+    The synthetic program is deterministic given the profile (its layout
+    seed is a profile field), so the profile's full parameter set plus the
+    walk seed and requested length close over the trace.  The packed format
+    version joins the key so a layout change can never be misread.
+    """
+    payload = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "format": PACKED_TRACE_FORMAT_VERSION,
+        "profile": _jsonable(profile),
+        "instructions": instructions,
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceStore:
+    """On-disk store of packed traces, one columnar file per content hash.
+
+    The (profile x design) grid generates each per-core trace exactly once:
+    every design sharing a profile — and every future run, in any process —
+    maps the artifact back in through :meth:`load` instead of re-walking the
+    generator.  Writes are atomic (temp file + rename), so sweeps sharing a
+    store can only observe complete artifacts.  ``hits``/``misses`` count
+    :meth:`load` outcomes for observability.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_trace_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceStore({str(self.directory)!r}, hits={self.hits}, misses={self.misses})"
+
+    @classmethod
+    def coerce(
+        cls, store: Union[None, bool, str, Path, "TraceStore"]
+    ) -> Optional["TraceStore"]:
+        """Normalize the user-facing ``trace_store`` knob (the ``cache`` idiom):
+        ``None``/``False`` disables, ``True`` uses the default directory, a
+        path uses that directory, an existing store passes through."""
+        if store is None or store is False:
+            return None
+        if store is True:
+            return cls()
+        if isinstance(store, cls):
+            return store
+        return cls(store)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.trace"
+
+    def load(
+        self,
+        profile: WorkloadProfile,
+        instructions: int,
+        seed: int,
+        name: Optional[str] = None,
+    ) -> Optional[Trace]:
+        """Map a stored trace back in, or ``None`` on miss/corruption.
+
+        ``name`` overrides the stored trace name (per-core names differ even
+        when the underlying artifact is shared across runs).
+        """
+        path = self._path(trace_key(profile, instructions, seed))
+        try:
+            packed = load_packed(path)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Trace.from_packed(packed, name=name)
+
+    def put(
+        self,
+        profile: WorkloadProfile,
+        instructions: int,
+        seed: int,
+        trace: Trace,
+    ) -> Path:
+        """Store one trace atomically; returns the artifact's path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        key = trace_key(profile, instructions, seed)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".trace"
+        )
+        os.close(handle)
+        try:
+            trace.packed.save(tmp_name)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self._path(key)
+
+
+# --------------------------------------------------------------------------- #
 # Grid cells
 # --------------------------------------------------------------------------- #
 
@@ -252,10 +387,19 @@ class SweepCell:
 
 @dataclass
 class SweepStats:
-    """How a sweep's cells were satisfied (the cache observability hook)."""
+    """How a sweep's cells were satisfied (the cache observability hook).
+
+    ``simulated``/``cache_hits`` count cells; ``traces_generated`` /
+    ``traces_loaded`` count how the simulated cells' per-core traces were
+    obtained (generator walk vs :class:`TraceStore` artifact).  A warm
+    trace-store run reports ``traces_generated == 0`` — CI pins this like
+    ``--expect-cached`` pins ``simulated == 0``.
+    """
 
     simulated: int = 0
     cache_hits: int = 0
+    traces_generated: int = 0
+    traces_loaded: int = 0
 
     @property
     def cells(self) -> int:
@@ -316,11 +460,14 @@ def cmp_driver(
     instructions_per_core: int,
     trace_seed_base: int = 100,
     frontend_config: Optional[FrontendConfig] = None,
+    trace_store: Optional[TraceStore] = None,
 ) -> ChipMultiprocessor:
     """The per-process memoized CMP driver for one workload configuration.
 
     Shared by sweep cells and :class:`repro.api.Session`, so a session and
-    the cells it schedules reuse one driver (and its cached traces).
+    the cells it schedules reuse one driver (and its cached traces).  A
+    ``trace_store`` attaches to the memoized driver: traces it has not yet
+    materialized are loaded from (or saved to) the store.
     """
     memo_key = (profile, cores, instructions_per_core, trace_seed_base,
                 frontend_config)
@@ -332,22 +479,31 @@ def cmp_driver(
             instructions_per_core=instructions_per_core,
             frontend_config=frontend_config,
             trace_seed_base=trace_seed_base,
+            trace_store=trace_store,
         )
         _CMP_MEMO[memo_key] = cmp_model
         while len(_CMP_MEMO) > _CMP_MEMO_MAX_ENTRIES:
             _CMP_MEMO.popitem(last=False)
     else:
         _CMP_MEMO.move_to_end(memo_key)
+        # The caller's knob always wins: attaching a store enables loads for
+        # traces the driver has not yet materialized, and passing None
+        # detaches a previously attached one (the documented "generate
+        # in-process" default must not silently keep using an old store).
+        cmp_model.trace_store = trace_store
     return cmp_model
 
 
-def _cmp_for_cell(cell: SweepCell) -> ChipMultiprocessor:
+def _cmp_for_cell(
+    cell: SweepCell, trace_store: Optional[TraceStore] = None
+) -> ChipMultiprocessor:
     return cmp_driver(
         cell.profile,
         cell.cores,
         cell.instructions_per_core,
         cell.trace_seed_base,
         cell.frontend_config,
+        trace_store=trace_store,
     )
 
 
@@ -386,8 +542,38 @@ def simulate_cell(
     ``workers`` (rarely needed) fans the cell's *replaying cores* out instead
     of its siblings — used when a sweep has more workers than pending cells.
     """
-    result = _cmp_for_cell(cell).run_design(cell.spec, workers=workers)
-    return summarize_result(result, cell.spec, cell.cores)
+    summary, _, _ = _simulate_cell_counted(cell, None, workers=workers)
+    return summary
+
+
+def _simulate_cell_counted(
+    cell: SweepCell,
+    trace_store: Optional[TraceStore],
+    workers: Optional[int] = None,
+) -> Tuple[Dict[str, object], int, int]:
+    """Run one cell; returns (summary, traces generated, traces loaded).
+
+    The trace counters are deltas over this run, so the scheduler can fold
+    them into :class:`SweepStats` even when the memoized driver already holds
+    its traces (in which case both deltas are zero).
+    """
+    cmp_model = _cmp_for_cell(cell, trace_store=trace_store)
+    generated_before = cmp_model.traces_generated
+    loaded_before = cmp_model.traces_loaded
+    result = cmp_model.run_design(cell.spec, workers=workers)
+    summary = summarize_result(result, cell.spec, cell.cores)
+    return (
+        summary,
+        cmp_model.traces_generated - generated_before,
+        cmp_model.traces_loaded - loaded_before,
+    )
+
+
+def _cell_job(job) -> Tuple[Dict[str, object], int, int]:
+    """Pool-worker entry: rebuilds the trace store from its directory."""
+    cell, trace_dir = job
+    store = TraceStore(trace_dir) if trace_dir is not None else None
+    return _simulate_cell_counted(cell, store)
 
 
 # --------------------------------------------------------------------------- #
@@ -398,6 +584,7 @@ def run_cells(
     cells: Sequence[SweepCell],
     workers: Optional[int] = None,
     cache: Union[None, bool, str, Path, ResultCache] = None,
+    trace_store: Union[None, bool, str, Path, TraceStore] = None,
 ) -> Tuple[List[Dict[str, object]], SweepStats]:
     """Satisfy every cell, from the cache when possible, else by simulating.
 
@@ -419,6 +606,7 @@ def run_cells(
     if workers is not None and workers <= 0:
         raise ValueError("workers must be positive when given")
     store = ResultCache.coerce(cache)
+    traces = TraceStore.coerce(trace_store)
     stats = SweepStats()
     summaries: List[Optional[Dict[str, object]]] = [None] * len(cells)
 
@@ -440,18 +628,28 @@ def run_cells(
         if parallel and core_fanout > len(pending):
             # e.g. a 2-design, 16-core session with workers=8: sequential
             # cells, 8-way core fan-out each, beats a 2-wide cell pool.
-            fresh = [simulate_cell(cells[i], workers=workers) for i in pending]
+            fresh = [
+                _simulate_cell_counted(cells[i], traces, workers=workers)
+                for i in pending
+            ]
         elif parallel and len(pending) > 1 and context is not None:
+            trace_dir = str(traces.directory) if traces is not None else None
+            jobs = [(cells[i], trace_dir) for i in pending]
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)), mp_context=context
             ) as pool:
-                fresh = list(pool.map(simulate_cell, [cells[i] for i in pending]))
+                fresh = list(pool.map(_cell_job, jobs))
         else:
             core_workers = workers if parallel else None
-            fresh = [simulate_cell(cells[i], workers=core_workers) for i in pending]
-        for index, summary in zip(pending, fresh):
+            fresh = [
+                _simulate_cell_counted(cells[i], traces, workers=core_workers)
+                for i in pending
+            ]
+        for index, (summary, generated, loaded) in zip(pending, fresh):
             summaries[index] = summary
             stats.simulated += 1
+            stats.traces_generated += generated
+            stats.traces_loaded += loaded
             if store is not None:
                 store.put(cells[index].key(), summary)
 
@@ -468,13 +666,16 @@ def run_sweep(
     trace_seed_base: int = 100,
     workers: Optional[int] = None,
     cache: Union[None, bool, str, Path, ResultCache] = None,
+    trace_store: Union[None, bool, str, Path, TraceStore] = None,
 ) -> SweepOutcome:
     """Run the full (profile x design) grid through the cell scheduler.
 
     ``profiles`` and ``designs`` may mix names and instances; ``scale``
     shrinks every profile (as :class:`repro.api.Session` does).  When
     ``instructions_per_core`` is omitted each profile uses its own
-    recommended trace length.
+    recommended trace length.  ``trace_store`` shares per-core traces as
+    on-disk artifacts across designs, runs and processes (see
+    :class:`TraceStore`).
     """
     resolved_profiles: List[WorkloadProfile] = []
     for profile in profiles:
@@ -510,7 +711,9 @@ def run_sweep(
         for profile in resolved_profiles
         for spec in specs
     ]
-    summaries, stats = run_cells(cells, workers=workers, cache=cache)
+    summaries, stats = run_cells(
+        cells, workers=workers, cache=cache, trace_store=trace_store
+    )
     mapping = {
         (cell.profile.name, cell.spec.name): summary
         for cell, summary in zip(cells, summaries)

@@ -33,8 +33,14 @@ from repro.workloads.cfg import (
     SyntheticProgram,
     synthesize_program,
 )
-from repro.workloads.trace import FetchRecord, Trace, TraceStatistics
-from repro.workloads.generator import TraceWalker, generate_trace, build_workload
+from repro.workloads.packed import PackedTrace, PackedTraceBuilder, load_packed
+from repro.workloads.trace import FetchRecord, RecordView, Trace, TraceStatistics
+from repro.workloads.generator import (
+    TraceWalker,
+    build_workload,
+    generate_packed_trace,
+    generate_trace,
+)
 
 __all__ = [
     "WorkloadProfile",
@@ -48,9 +54,14 @@ __all__ = [
     "SyntheticProgram",
     "synthesize_program",
     "FetchRecord",
+    "PackedTrace",
+    "PackedTraceBuilder",
+    "RecordView",
     "Trace",
     "TraceStatistics",
     "TraceWalker",
+    "generate_packed_trace",
     "generate_trace",
+    "load_packed",
     "build_workload",
 ]

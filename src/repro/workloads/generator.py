@@ -21,12 +21,13 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.isa.instruction import BranchKind
 from repro.workloads.cfg import BranchBehavior, SyntheticProgram, synthesize_program
+from repro.workloads.packed import NO_VALUE, PackedTrace, PackedTraceBuilder, kind_code
 from repro.workloads.profiles import WorkloadProfile
-from repro.workloads.trace import FetchRecord, Trace
+from repro.workloads.trace import Trace
 
 #: Safety limit on fetch regions per operation, to bound pathological walks.
 _MAX_REGIONS_PER_OPERATION = 3_000
@@ -84,16 +85,63 @@ class TraceWalker:
 
     def run(self, max_instructions: int, name: Optional[str] = None) -> Trace:
         """Generate a trace of at least ``max_instructions`` instructions."""
+        return Trace.from_packed(self.run_packed(max_instructions, name=name))
+
+    def run_packed(
+        self, max_instructions: int, name: Optional[str] = None
+    ) -> PackedTrace:
+        """Generate the trace directly in columnar form.
+
+        The walker appends scalar columns into a chunked
+        :class:`~repro.workloads.packed.PackedTraceBuilder` — no
+        ``FetchRecord`` objects exist on this path.
+        """
+        builder = PackedTraceBuilder(name=name or self.profile.name)
+        for _ in self._walk_requests(max_instructions, builder):
+            pass
+        return builder.build()
+
+    def run_chunks(
+        self,
+        max_instructions: int,
+        name: Optional[str] = None,
+        chunk_regions: int = 1 << 16,
+    ) -> Iterator[PackedTrace]:
+        """Generate the trace as a stream of packed chunks.
+
+        Each yielded chunk is detached from the builder before the next one
+        is produced, so traces larger than memory can be streamed straight to
+        disk (see :func:`repro.workloads.packed.save_chunks`).  Requests are
+        never split across chunks; chunk sizes are therefore approximate.
+        """
+        builder = PackedTraceBuilder(
+            name=name or self.profile.name, chunk_regions=chunk_regions
+        )
+        for _ in self._walk_requests(max_instructions, builder):
+            if len(builder) >= chunk_regions:
+                chunk = builder.take_chunk()
+                if chunk is not None:
+                    yield chunk
+        chunk = builder.take_chunk()
+        if chunk is not None:
+            yield chunk
+
+    def _walk_requests(
+        self, max_instructions: int, builder: PackedTraceBuilder
+    ) -> Iterator[None]:
+        """THE walk loop: serve requests into ``builder``, yielding after
+        each one.  Both trace-producing entry points drive this generator,
+        so the request order and RNG consumption can never diverge between
+        the in-memory and streamed forms."""
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
-        records: List[FetchRecord] = []
         instructions = 0
         while instructions < max_instructions:
             request_type = self._pick_request_type()
             parameter = self._rng.randrange(self.profile.request_parameters)
-            instructions += self._run_request(request_type, parameter, records)
+            instructions += self._run_request(request_type, parameter, builder)
             self.requests_completed += 1
-        return Trace(records, name=name or self.profile.name)
+            yield
 
     def _pick_request_type(self) -> int:
         draw = self._rng.random()
@@ -105,7 +153,7 @@ class TraceWalker:
         return len(self._request_weights) - 1
 
     def _run_request(
-        self, request_type: int, parameter: int, records: List[FetchRecord]
+        self, request_type: int, parameter: int, builder: PackedTraceBuilder
     ) -> int:
         """Serve one request: the fixed operation sequence of its type.
 
@@ -122,7 +170,7 @@ class TraceWalker:
             # given pair always follows the same deterministic path, which is
             # the unit of temporal-stream recurrence.
             path_key = (request_type << 8) | op_index
-            instructions += self._run_operation(entry, path_key, parameter, records)
+            instructions += self._run_operation(entry, path_key, parameter, builder)
             self.operations_completed += 1
         return instructions
 
@@ -142,7 +190,7 @@ class TraceWalker:
         entry: int,
         path_key: int,
         parameter: int,
-        records: List[FetchRecord],
+        builder: PackedTraceBuilder,
     ) -> int:
         cfg = self.program.cfg
         pc = entry
@@ -160,16 +208,15 @@ class TraceWalker:
                 break
             behavior = cfg.behavior_of(block.terminator_pc)
             taken, next_pc = self._resolve(behavior, path_key, parameter, stack)
-            records.append(
-                FetchRecord(
-                    start=pc,
-                    instruction_count=block.length,
-                    branch_pc=block.terminator_pc,
-                    kind=behavior.kind,
-                    taken=taken,
-                    target=behavior.taken_target,
-                    next_pc=next_pc if next_pc is not None else block.end,
-                )
+            target = behavior.taken_target
+            builder.append(
+                pc,
+                block.length,
+                block.terminator_pc,
+                kind_code(behavior.kind),
+                1 if taken else 0,
+                target if target is not None else NO_VALUE,
+                next_pc if next_pc is not None else block.end,
             )
             instructions += block.length
             regions += 1
@@ -286,6 +333,14 @@ def generate_trace(
     """Convenience wrapper: build a walker and generate ``instructions``."""
     walker = TraceWalker(program, seed=seed)
     return walker.run(instructions, name=name)
+
+
+def generate_packed_trace(
+    program: SyntheticProgram, instructions: int, seed: int = 1, name: Optional[str] = None
+) -> PackedTrace:
+    """Like :func:`generate_trace` but returns the bare columnar form."""
+    walker = TraceWalker(program, seed=seed)
+    return walker.run_packed(instructions, name=name)
 
 
 def build_workload(

@@ -2,21 +2,34 @@
 
 The frontend mechanisms in the paper all operate on the stream of *fetch
 regions* (basic blocks) produced by the branch prediction unit, so the trace
-is recorded at that granularity: one :class:`FetchRecord` per executed basic
-block, carrying the terminating branch and its dynamic outcome.  Instruction
-and block-level streams are derived views.
+is recorded at that granularity: one fetch region per executed basic block,
+carrying the terminating branch and its dynamic outcome.
+
+The canonical storage is columnar — a :class:`~repro.workloads.packed.PackedTrace`
+holding one ``array`` per field — which the hot simulation loops index
+directly.  :class:`Trace` and :class:`FetchRecord` are the record-level API
+on top: ``trace.records`` is a lazy view that materializes a
+:class:`FetchRecord` only when one is actually asked for, so code written
+against the record interface keeps working while the columnar fast paths
+never pay for it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.isa.instruction import (
     BLOCK_SIZE_BYTES,
     INSTRUCTION_SIZE_BYTES,
     BranchKind,
     block_address,
+)
+from repro.workloads.packed import (
+    NO_VALUE,
+    PackedTrace,
+    PackedTraceBuilder,
+    kind_from_code,
 )
 
 
@@ -109,29 +122,122 @@ class TraceStatistics:
         return self.instruction_count / self.fetch_region_count
 
 
-class Trace:
-    """A materialized sequence of fetch records plus derived statistics."""
+class RecordView(Sequence[FetchRecord]):
+    """Lazy record-level view of a :class:`PackedTrace`.
 
-    def __init__(self, records: Sequence[FetchRecord], name: str = "trace") -> None:
-        self.name = name
-        self._records: List[FetchRecord] = list(records)
+    Indexing materializes one :class:`FetchRecord` from the columns;
+    iteration streams them without ever holding the whole list.
+    """
 
-    def __iter__(self) -> Iterator[FetchRecord]:
-        return iter(self._records)
+    __slots__ = ("_packed",)
+
+    def __init__(self, packed: PackedTrace) -> None:
+        self._packed = packed
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._packed)
 
-    def __getitem__(self, index: int) -> FetchRecord:
-        return self._records[index]
+    def _record(self, index: int) -> FetchRecord:
+        packed = self._packed
+        branch_pc = packed.branch_pcs[index]
+        target = packed.targets[index]
+        return FetchRecord(
+            start=packed.starts[index],
+            instruction_count=packed.instruction_counts[index],
+            branch_pc=branch_pc if branch_pc != NO_VALUE else None,
+            kind=kind_from_code(packed.kinds[index]),
+            taken=bool(packed.takens[index]),
+            target=target if target != NO_VALUE else None,
+            next_pc=packed.next_pcs[index],
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._record(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("record index out of range")
+        return self._record(index)
+
+    def __iter__(self) -> Iterator[FetchRecord]:
+        packed = self._packed
+        for start, count, branch_pc, code, taken, target, next_pc in zip(
+            packed.starts,
+            packed.instruction_counts,
+            packed.branch_pcs,
+            packed.kinds,
+            packed.takens,
+            packed.targets,
+            packed.next_pcs,
+        ):
+            yield FetchRecord(
+                start=start,
+                instruction_count=count,
+                branch_pc=branch_pc if branch_pc != NO_VALUE else None,
+                kind=kind_from_code(code),
+                taken=bool(taken),
+                target=target if target != NO_VALUE else None,
+                next_pc=next_pc,
+            )
+
+
+def pack_records(
+    records: Iterable[FetchRecord], name: str = "trace"
+) -> PackedTrace:
+    """Pack a record sequence into columns (the view-path constructor)."""
+    builder = PackedTraceBuilder(name=name)
+    for record in records:
+        builder.append_record(record)
+    return builder.build()
+
+
+class Trace:
+    """A fetch-region trace: columnar storage, record-level API.
+
+    May be constructed from a sequence of :class:`FetchRecord` (packed on
+    the spot) or, via :meth:`from_packed`, directly over an existing
+    :class:`~repro.workloads.packed.PackedTrace` — the generator and the
+    on-disk trace store use the latter, so no record objects exist unless a
+    consumer asks for them.
+    """
+
+    def __init__(
+        self,
+        records: Union[Sequence[FetchRecord], PackedTrace],
+        name: str = "trace",
+    ) -> None:
+        self.name = name
+        if isinstance(records, PackedTrace):
+            self._packed = records
+        else:
+            self._packed = pack_records(records, name=name)
+
+    @classmethod
+    def from_packed(cls, packed: PackedTrace, name: Optional[str] = None) -> "Trace":
+        return cls(packed, name=name if name is not None else packed.name)
 
     @property
-    def records(self) -> Sequence[FetchRecord]:
-        return self._records
+    def packed(self) -> PackedTrace:
+        """The columnar storage behind this trace."""
+        return self._packed
+
+    def __iter__(self) -> Iterator[FetchRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self._packed)
+
+    def __getitem__(self, index: int) -> FetchRecord:
+        return self.records[index]
+
+    @property
+    def records(self) -> RecordView:
+        return RecordView(self._packed)
 
     @property
     def instruction_count(self) -> int:
-        return sum(record.instruction_count for record in self._records)
+        return self._packed.instruction_count
 
     def block_stream(self) -> Iterator[int]:
         """Block addresses in fetch order with consecutive duplicates removed.
@@ -141,45 +247,47 @@ class Trace:
         do not re-access the cache.
         """
         previous = None
-        for record in self._records:
-            for block in record.blocks():
-                if block != previous:
-                    yield block
-                    previous = block
+        for block in self._packed.iter_blocks():
+            if block != previous:
+                yield block
+                previous = block
 
     def taken_branches(self) -> Iterator[Tuple[int, Optional[int]]]:
         """(branch_pc, actual_target) pairs for every taken branch."""
-        for record in self._records:
-            if record.is_taken_branch:
-                yield record.branch_pc, record.next_pc
+        packed = self._packed
+        for branch_pc, taken, next_pc in zip(
+            packed.branch_pcs, packed.takens, packed.next_pcs
+        ):
+            if branch_pc != NO_VALUE and taken:
+                yield branch_pc, next_pc
 
     def statistics(self) -> TraceStatistics:
-        stats = TraceStatistics()
-        blocks: Set[int] = set()
-        taken_pcs: Set[int] = set()
-        for record in self._records:
-            stats.fetch_region_count += 1
-            stats.instruction_count += record.instruction_count
-            blocks.update(record.blocks())
-            if record.branch_pc is None:
-                continue
-            stats.branch_count += 1
-            if record.kind is BranchKind.CONDITIONAL:
-                stats.conditional_count += 1
-                if record.taken:
-                    stats.conditional_taken_count += 1
-            if record.kind is not None and record.kind.is_call:
-                stats.call_count += 1
-            if record.kind is BranchKind.RETURN:
-                stats.return_count += 1
-            if record.kind is not None and record.kind.is_indirect:
-                stats.indirect_count += 1
-            if record.taken:
-                stats.taken_branch_count += 1
-                taken_pcs.add(record.branch_pc)
-        stats.unique_blocks = len(blocks)
-        stats.unique_taken_branches = len(taken_pcs)
-        return stats
+        (
+            instructions,
+            regions,
+            branches,
+            taken,
+            conditionals,
+            conditional_taken,
+            calls,
+            returns,
+            indirects,
+            unique_blocks,
+            unique_taken,
+        ) = self._packed.statistics_tuple()
+        return TraceStatistics(
+            instruction_count=instructions,
+            fetch_region_count=regions,
+            branch_count=branches,
+            taken_branch_count=taken,
+            conditional_count=conditionals,
+            conditional_taken_count=conditional_taken,
+            call_count=calls,
+            return_count=returns,
+            indirect_count=indirects,
+            unique_blocks=unique_blocks,
+            unique_taken_branches=unique_taken,
+        )
 
     def branch_density(self) -> Dict[str, float]:
         """Static and dynamic branch density per touched block (Table 2).
@@ -190,22 +298,23 @@ class Trace:
         episode, the quantity Table 2 reports for block residency in the
         L1-I.
         """
+        packed = self._packed
         static_branches: Dict[int, Set[int]] = {}
         dynamic_counts: List[int] = []
         current_block: Optional[int] = None
         current_branches: Set[int] = set()
-        for record in self._records:
-            if record.branch_pc is None:
+        for branch_pc, taken in zip(packed.branch_pcs, packed.takens):
+            if branch_pc == NO_VALUE:
                 continue
-            branch_block = block_address(record.branch_pc)
-            static_branches.setdefault(branch_block, set()).add(record.branch_pc)
+            branch_block = block_address(branch_pc)
+            static_branches.setdefault(branch_block, set()).add(branch_pc)
             if branch_block != current_block:
                 if current_block is not None:
                     dynamic_counts.append(len(current_branches))
                 current_block = branch_block
                 current_branches = set()
-            if record.taken:
-                current_branches.add(record.branch_pc)
+            if taken:
+                current_branches.add(branch_pc)
         if current_block is not None:
             dynamic_counts.append(len(current_branches))
         static = (
@@ -218,11 +327,13 @@ class Trace:
 
     def head(self, count: int) -> "Trace":
         """Return a new trace containing the first ``count`` records."""
-        return Trace(self._records[:count], name=f"{self.name}[:{count}]")
+        return Trace.from_packed(
+            self._packed.slice(0, count), name=f"{self.name}[:{count}]"
+        )
 
     @classmethod
     def concatenate(cls, traces: Iterable["Trace"], name: str = "concat") -> "Trace":
-        records: List[FetchRecord] = []
-        for trace in traces:
-            records.extend(trace.records)
-        return cls(records, name=name)
+        packed = PackedTrace.concatenate(
+            (trace.packed for trace in traces), name=name
+        )
+        return cls.from_packed(packed, name=name)

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line entry points."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.workloads import load_packed
+
+
+class TestTraceCommand:
+    def test_pack_verify_and_info(self, tmp_path, capsys):
+        out = tmp_path / "oltp.trace"
+        code = main([
+            "trace", "--profile", "oltp_db2", "--scale", "0.08",
+            "--instructions", "5000", "--seed", "3",
+            "--out", str(out), "--verify", "--chunk-regions", "400",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert out.exists()
+        assert "statistics match the generator output" in captured.out
+
+        packed = load_packed(out)
+        assert packed.instruction_count >= 5000
+
+        code = main(["trace", "--info", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fetch regions" in captured.out
+
+    def test_out_requires_profile(self, tmp_path, capsys):
+        code = main(["trace", "--out", str(tmp_path / "x.trace")])
+        assert code == 2
+        assert "--profile" in capsys.readouterr().err
+
+    def test_requires_a_mode(self, capsys):
+        code = main(["trace", "--profile", "oltp_db2"])
+        assert code == 2
+        assert "--out or --info" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_trace_store_round_trip_via_cli(self, tmp_path, capsys):
+        from repro.sweep import clear_workload_memo
+
+        args = [
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "2", "--instructions-per-core",
+            "5000", "--no-cache", "--trace-dir", str(tmp_path / "traces"),
+            "--json",
+        ]
+        clear_workload_memo()
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["stats"]["traces_generated"] == 2
+
+        clear_workload_memo()
+        assert main(args + ["--expect-trace-cached"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["stats"]["traces_generated"] == 0
+        assert warm["stats"]["traces_loaded"] == 2
+        assert warm["reports"] == cold["reports"]
+
+    def test_expect_trace_cached_fails_cold(self, tmp_path, capsys):
+        from repro.sweep import clear_workload_memo
+
+        clear_workload_memo()
+        code = main([
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "2", "--instructions-per-core",
+            "5000", "--no-cache", "--trace-dir", str(tmp_path / "empty"),
+            "--expect-trace-cached",
+        ])
+        assert code == 1
+        assert "--expect-trace-cached" in capsys.readouterr().err

@@ -1,0 +1,106 @@
+"""The tentpole acceptance pin: packed fast path == record-view path.
+
+``FrontendSimulator.run`` walks the columnar trace by default and the lazy
+record view with ``use_packed=False``.  Every field of the resulting
+:class:`FrontendResult` must be bit-identical across the two paths — the
+packed loop is an optimization, never a model change — on multiple
+profiles x multiple design points (covering the SHIFT/Confluence prefetch
+machinery, FDP's columnar runahead and the bare baseline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.designs import design_from_spec, resolve_design
+from repro.sweep import TraceStore
+from repro.workloads import generate_trace
+
+#: Designs chosen to exercise disjoint machinery: baseline (BTB+L1-I only),
+#: confluence (AirBTB + SHIFT-fed stream engine + predecode penalty), fdp
+#: (record/columnar runahead), 2level_shift (BTB bubbles + shared history).
+PARITY_DESIGNS = ("baseline", "confluence", "fdp", "2level_shift")
+
+
+def _run_both(program, trace, design):
+    spec = resolve_design(design)
+    fast_sim, _ = design_from_spec(spec, program)
+    slow_sim, _ = design_from_spec(spec, program)
+    fast = fast_sim.run(trace)
+    slow = slow_sim.run(trace, use_packed=False)
+    return fast, slow
+
+
+class TestPackedRecordParity:
+    """Two profiles x the design set: identical results field for field."""
+
+    @pytest.mark.parametrize("design", PARITY_DESIGNS)
+    def test_oltp_parity(self, tiny_program, tiny_trace, design):
+        fast, slow = _run_both(tiny_program, tiny_trace, design)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+    @pytest.mark.parametrize("design", ("baseline", "confluence"))
+    def test_web_parity(self, small_program, small_trace, design):
+        fast, slow = _run_both(small_program, small_trace, design)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+    def test_parity_with_kindless_branch_records(self, tiny_program):
+        # A record may carry a branch_pc but no kind (the FetchRecord
+        # contract allows it); the packed path must decode the -1 kind
+        # sentinel to None, not wrap it around the kind table into RETURN.
+        from repro.workloads.trace import FetchRecord, Trace
+
+        base = 0x4000_0000
+        records = []
+        for repeat in range(40):
+            records.append(FetchRecord(
+                start=base, instruction_count=4, branch_pc=base + 12,
+                kind=None, taken=True, target=base + 0x400, next_pc=base + 0x400,
+            ))
+            records.append(FetchRecord(
+                start=base + 0x400, instruction_count=4, branch_pc=None,
+                kind=None, taken=False, target=None, next_pc=base,
+            ))
+        trace = Trace(records, name="kindless")
+        fast, slow = _run_both(tiny_program, trace, "baseline")
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+    def test_parity_survives_the_trace_store_round_trip(
+        self, tiny_program, tiny_trace, tmp_path
+    ):
+        # A store-loaded trace must drive the simulator to the exact result
+        # the generated trace does (the store is a cache, not a model knob).
+        store = TraceStore(tmp_path)
+        profile = tiny_program.profile
+        store.put(profile, 30_000, 3, tiny_trace)
+        loaded = store.load(profile, 30_000, 3, name=tiny_trace.name)
+        assert loaded is not None
+        fast, _ = _run_both(tiny_program, tiny_trace, "confluence")
+        via_store, _ = _run_both(tiny_program, loaded, "confluence")
+        assert dataclasses.asdict(fast) == dataclasses.asdict(via_store)
+
+
+class TestSpeedupOverPolicy:
+    """Zero-IPC operands fail loudly instead of reading as 0x."""
+
+    def test_frontend_zero_ipc_raises(self, tiny_program, tiny_trace):
+        from repro.core.frontend import FrontendResult
+
+        spec = resolve_design("baseline")
+        simulator, _ = design_from_spec(spec, tiny_program)
+        result = simulator.run(tiny_trace)
+        empty = FrontendResult(design="empty", workload="none")
+        with pytest.raises(ValueError, match="zero IPC"):
+            result.speedup_over(empty)
+        with pytest.raises(ValueError, match="zero IPC"):
+            empty.speedup_over(result)
+        assert result.speedup_over(result) == pytest.approx(1.0)
+
+    def test_cmp_zero_ipc_raises(self):
+        from repro.core.cmp import CMPResult
+
+        empty = CMPResult(design="empty", workload="none")
+        with pytest.raises(ValueError, match="zero IPC"):
+            empty.speedup_over(empty)

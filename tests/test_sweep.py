@@ -14,12 +14,16 @@ from repro.sweep import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
     SweepCell,
+    TraceStore,
     cell_key,
+    clear_workload_memo,
     default_cache_dir,
+    default_trace_dir,
     run_cells,
     run_sweep,
+    trace_key,
 )
-from repro.workloads import get_profile
+from repro.workloads import get_profile, synthesize_program
 
 PROFILES = ["oltp_db2", "dss_qry2"]
 DESIGNS = ["baseline", "confluence"]
@@ -113,6 +117,115 @@ class TestResultCache:
         assert ResultCache.coerce(str(tmp_path)).directory == tmp_path
         cache = ResultCache(tmp_path)
         assert ResultCache.coerce(cache) is cache
+
+
+class TestTraceStore:
+    def test_key_sensitivity(self):
+        profile = get_profile("oltp_db2").scaled(0.08)
+        base = trace_key(profile, 6_000, 100)
+        assert base == trace_key(profile, 6_000, 100)
+        assert base != trace_key(profile, 7_000, 100)
+        assert base != trace_key(profile, 6_000, 101)
+        assert base != trace_key(get_profile("dss_qry2").scaled(0.08), 6_000, 100)
+
+    def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        assert default_trace_dir() == tmp_path / "traces"
+        assert TraceStore().directory == tmp_path / "traces"
+
+    def test_default_nests_under_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_trace_dir() == tmp_path / "traces"
+
+    def test_coerce_forms(self, tmp_path):
+        assert TraceStore.coerce(None) is None
+        assert TraceStore.coerce(False) is None
+        assert TraceStore.coerce(True) is not None
+        assert TraceStore.coerce(str(tmp_path)).directory == tmp_path
+        store = TraceStore(tmp_path)
+        assert TraceStore.coerce(store) is store
+
+    def test_load_miss_and_round_trip(self, tmp_path):
+        from repro.workloads import generate_trace
+
+        store = TraceStore(tmp_path)
+        profile = get_profile("oltp_db2").scaled(0.08)
+        assert store.load(profile, 5_000, 42) is None
+        assert store.misses == 1
+
+        program = synthesize_program(profile)
+        generated = generate_trace(program, 5_000, seed=42, name="core0")
+        store.put(profile, 5_000, 42, generated)
+        loaded = store.load(profile, 5_000, 42, name="renamed")
+        assert store.hits == 1
+        assert loaded is not None
+        assert loaded.name == "renamed"  # per-core names override the artifact's
+        assert len(loaded) == len(generated)
+        assert all(a == b for a, b in zip(loaded.records, generated.records))
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        profile = get_profile("oltp_db2").scaled(0.08)
+        key = trace_key(profile, 5_000, 42)
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / f"{key}.trace").write_bytes(b"garbage")
+        assert store.load(profile, 5_000, 42) is None
+        assert store.misses == 1
+
+
+class TestTraceStoreInSweeps:
+    """The PR's second acceptance pin: a warm store means zero generations."""
+
+    def test_warm_grid_performs_zero_trace_generations(self, tmp_path):
+        store_dir = tmp_path / "traces"
+        # Earlier tests may have memoized these cells' traces in-process;
+        # start from a clean slate so the cold run populates the store.
+        clear_workload_memo()
+        cold = run_sweep(PROFILES, DESIGNS, trace_store=store_dir, **GRID_KW)
+        assert cold.stats.traces_generated == len(PROFILES) * GRID_KW["cores"]
+
+        # Drop the per-process memos so the warm run must re-acquire every
+        # trace — from the store, not the generator.
+        clear_workload_memo()
+        warm = run_sweep(PROFILES, DESIGNS, trace_store=store_dir, **GRID_KW)
+        assert warm.stats.traces_generated == 0
+        assert warm.stats.traces_loaded == len(PROFILES) * GRID_KW["cores"]
+        assert warm.summaries == cold.summaries
+
+    def test_store_fed_grid_is_bit_identical_to_generated(self, tmp_path):
+        store_dir = tmp_path / "traces"
+        clear_workload_memo()
+        run_sweep(PROFILES, DESIGNS, trace_store=store_dir, **GRID_KW)
+        clear_workload_memo()
+        via_store = run_sweep(PROFILES, DESIGNS, trace_store=store_dir, **GRID_KW)
+        clear_workload_memo()
+        generated = run_sweep(PROFILES, DESIGNS, **GRID_KW)
+        assert via_store.summaries == generated.summaries
+
+    def test_parallel_warm_grid_generates_nothing(self, tmp_path):
+        store_dir = tmp_path / "traces"
+        clear_workload_memo()
+        cold = run_sweep(PROFILES, DESIGNS, trace_store=store_dir, **GRID_KW)
+        clear_workload_memo()
+        warm = run_sweep(
+            PROFILES, DESIGNS, trace_store=store_dir, workers=2, **GRID_KW
+        )
+        assert warm.stats.traces_generated == 0
+        assert warm.summaries == cold.summaries
+
+    def test_session_accepts_trace_store(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        clear_workload_memo()
+        first = Session(
+            profile="oltp_db2", trace_store=store, **GRID_KW
+        ).run(DESIGNS)
+        clear_workload_memo()
+        second = Session(
+            profile="oltp_db2", trace_store=store, **GRID_KW
+        ).run(DESIGNS)
+        assert store.hits > 0
+        assert first == second
 
 
 class TestSweepValidation:
