@@ -19,9 +19,33 @@ cells from disk instead of re-simulating them.
 
 ``REPRO_BENCH_TRACE_STORE`` does the same for the packed-trace store (``1``
 for the default directory — ``$REPRO_TRACE_DIR`` or ``<cache>/traces`` — or
-a path): grid benchmarks map per-core traces in from disk instead of
-re-walking the generator, which is what makes *cold* (result-cache-miss)
-runs fast.
+a path): grid benchmarks map per-core traces in zero-copy (mmap-backed
+memoryview columns) instead of re-walking the generator, which is what
+makes *cold* (result-cache-miss) runs fast and keeps per-worker RSS flat.
+
+Knob summary (all optional; defaults in parentheses):
+
+=========================  ==================================================
+``REPRO_BENCH_SCALE``      profile footprint scale factor (0.45)
+``REPRO_BENCH_INSTRUCTIONS``  trace length per workload (350000)
+``REPRO_BENCH_SMOKE``      1 = run everything, assert nothing scale-dependent
+                           (auto: scale < 0.25); 0 forces full assertions.
+                           Timing gates (the kernel hot-loop 1.5x packed
+                           speedup) are also skipped in smoke mode — the CI
+                           perf job checks the bench JSON *schema* instead,
+                           never the timings
+``REPRO_BENCH_PARALLEL``   worker processes for workload construction (1)
+``REPRO_BENCH_CACHE``      result cache: 1 = default dir, or a path (off)
+``REPRO_BENCH_TRACE_STORE``  packed-trace store: 1 = default dir, or a path
+                           (off)
+``REPRO_CACHE_DIR``        result-cache directory (~/.cache/repro)
+``REPRO_TRACE_DIR``        trace-store directory (<cache dir>/traces)
+=========================  ==================================================
+
+``REPRO_BENCH_SMOKE=1`` (the literal value — the scale-based auto default
+above applies only to this benchmark suite) also selects the
+``python -m repro bench`` operating point (tiny trace, one repeat) so the
+CI perf smoke job finishes in seconds; see :mod:`repro.perfbench`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,58 @@
+"""Microbenchmark of the packed simulation kernel (the PR-4 hot loop).
+
+Runs the same harness as ``python -m repro bench`` at the suite's benchmark
+scale: trace generation, the columnar artifact round trip (mmap-backed), and
+the allocation-free packed loop per design, against the record-view oracle
+loop on the identical trace.  The acceptance gate this pins: the packed hot
+loop must sustain at least 1.5x the record path's regions/sec (asserted only
+outside smoke mode — CI machines are too noisy to gate on timing, which is
+why the CI job checks the JSON *schema* instead).
+
+The committed ``BENCH_kernel.json`` at the repo root is the recorded
+trajectory of these numbers, one point per perf PR; refresh it with
+``python -m repro bench --json BENCH_kernel.json`` after kernel work.
+"""
+
+from repro.perfbench import run_kernel_benchmark
+
+DESIGNS = ("baseline", "confluence")
+
+
+def test_kernel_hotloop(benchmark, bench_scale, bench_instructions,
+                        shape_assertions):
+    scale = min(bench_scale, 0.2)
+    instructions = min(bench_instructions, 200_000)
+
+    payload = benchmark.pedantic(
+        run_kernel_benchmark,
+        kwargs=dict(
+            profile_name="oltp_db2",
+            scale=scale,
+            instructions=instructions,
+            seed=3,
+            designs=DESIGNS,
+            repeats=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for row in payload["designs"]:
+        print(f"  {row['design']:>12}: {row['regions_per_sec']:>12,.0f} regions/s")
+    record = payload["record_path"]
+    print(f"  {'record path':>12}: {record['regions_per_sec']:>12,.0f} regions/s")
+    print(f"  packed speedup: {payload['packed_speedup']:.2f}x, "
+          f"peak RSS {payload['peak_rss_kb']} KB")
+
+    # Structure holds at any scale: every design timed, artifact mapped
+    # zero-copy, stable schema fields present.
+    assert [row["design"] for row in payload["designs"]] == list(DESIGNS)
+    assert payload["trace"]["mapped"] is True
+    assert all(row["regions_per_sec"] > 0 for row in payload["designs"])
+
+    if not shape_assertions:
+        return
+    # The tentpole acceptance gate: the allocation-free packed loop beats
+    # the record-view oracle by >= 1.5x on the same trace.
+    assert payload["packed_speedup"] >= 1.5

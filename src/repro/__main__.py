@@ -1,15 +1,23 @@
-"""Command-line entry points: ``python -m repro sweep`` / ``... trace``.
+"""Command-line entry points: ``python -m repro sweep`` / ``trace`` / ``bench``.
 
 The ``sweep`` subcommand runs a (profile x design) grid through
 :mod:`repro.sweep` — fanned out across worker processes, served from the
 on-disk result cache when the same cell has been simulated before, per-core
-traces mapped in from the shared trace store — and prints one RunReport
-table per profile plus the cache and trace-store accounting.
+traces mapped in zero-copy from the shared trace store — and prints one
+RunReport table per profile plus the cache and trace-store accounting.
 
 The ``trace`` subcommand works with packed trace artifacts directly:
 ``--out`` generates a trace and streams it to a columnar file, ``--verify``
 reloads it and asserts its statistics match a fresh generator walk (the CI
-round-trip guard), and ``--info`` describes an existing artifact.
+round-trip guard), ``--info`` describes an existing artifact, and
+``--prune BYTES`` LRU-evicts cold artifacts until the shared store fits the
+byte budget.
+
+The ``bench`` subcommand measures the packed simulation kernel
+(:mod:`repro.perfbench`) and emits one stable-schema JSON trajectory point;
+the committed ``BENCH_kernel.json`` tracks it PR over PR, and
+``--expect-schema`` lets CI fail on schema drift without ever failing on
+timing.
 
 Examples::
 
@@ -26,6 +34,14 @@ Examples::
     python -m repro trace --profile oltp_db2 --scale 0.1 \\
         --instructions 50000 --seed 3 --out /tmp/oltp.trace --verify
     python -m repro trace --info /tmp/oltp.trace
+
+    # bound the shared trace store at 512 MB (least-recently-used eviction)
+    python -m repro trace --prune 512M
+
+    # record a perf trajectory point / check a smoke run against it
+    python -m repro bench --json BENCH_kernel.json
+    REPRO_BENCH_SMOKE=1 python -m repro bench --json /tmp/bench.json \\
+        --expect-schema BENCH_kernel.json
 
 The result cache lives under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro``); ``--cache-dir`` overrides it and ``--no-cache``
@@ -135,7 +151,44 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="describe an existing packed trace artifact")
     trace.add_argument("--chunk-regions", type=int, default=1 << 16,
                        help="streaming chunk size in fetch regions (default 65536)")
+    trace.add_argument("--prune", default=None, metavar="BYTES",
+                       help="LRU-evict cold artifacts until the trace store is "
+                            "at most BYTES (suffixes K/M/G accepted)")
+    trace.add_argument("--trace-dir", default=None,
+                       help=f"trace store directory to prune (default: {default_trace_dir()})")
     trace.set_defaults(handler=_run_trace_command)
+
+    bench = commands.add_parser(
+        "bench",
+        help="measure the packed simulation kernel (stable-schema JSON)",
+        description=(
+            "Run the kernel hot-loop benchmark — trace generation, the "
+            "columnar artifact round trip, and the packed simulation loop "
+            "per design — and emit one stable-schema JSON trajectory point. "
+            "REPRO_BENCH_SMOKE=1 selects the tiny CI operating point; "
+            "explicit flags always win."
+        ),
+    )
+    bench.add_argument("--profile", default="oltp_db2", metavar="NAME",
+                       help="workload profile to benchmark on (default oltp_db2)")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="profile scale factor (default: operating point)")
+    bench.add_argument("--instructions", type=int, default=None,
+                       help="trace length (default: operating point)")
+    bench.add_argument("--seed", type=int, default=3,
+                       help="trace generation seed (default 3)")
+    bench.add_argument("--designs", nargs="+", metavar="NAME",
+                       default=["baseline", "confluence"],
+                       help="design points to time (default: baseline confluence)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repeats per design, best-of reported "
+                            "(default: operating point)")
+    bench.add_argument("--json", default=None, metavar="PATH", dest="json_out",
+                       help="write the trajectory point to PATH as JSON")
+    bench.add_argument("--expect-schema", default=None, metavar="PATH",
+                       help="fail (exit 1) if this run's JSON schema drifts "
+                            "from the trajectory point at PATH")
+    bench.set_defaults(handler=_run_bench_command)
     return parser
 
 
@@ -172,6 +225,7 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
                 "cache_hits": outcome.stats.cache_hits,
                 "traces_generated": outcome.stats.traces_generated,
                 "traces_loaded": outcome.stats.traces_loaded,
+                "traces_mapped": outcome.stats.traces_mapped,
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -196,7 +250,8 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         )
         print(
             f"traces: {outcome.stats.traces_generated} generated, "
-            f"{outcome.stats.traces_loaded} loaded from store{trace_where}"
+            f"{outcome.stats.traces_loaded} loaded from store "
+            f"({outcome.stats.traces_mapped} zero-copy mmap){trace_where}"
         )
 
     if args.expect_cached and outcome.stats.simulated:
@@ -232,13 +287,48 @@ def _print_trace_stats(name: str, instruction_count: int, stats) -> None:
     print(f"  avg region length:    {stats.average_region_length:.2f}")
 
 
+def _parse_byte_size(text: str) -> int:
+    """``"512M"``-style byte budgets for ``trace --prune`` (K/M/G suffixes)."""
+    raw = text.strip()
+    multiplier = 1
+    if raw and raw[-1].upper() in ("K", "M", "G"):
+        multiplier = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"not a byte size: {text!r} (expected e.g. 1048576, 512M)")
+    if value < 0:
+        raise ValueError(f"byte size must be non-negative: {text!r}")
+    return value * multiplier
+
+
 def _run_trace_command(args: argparse.Namespace) -> int:
     from repro.workloads import TraceWalker, get_profile, load_packed, synthesize_program
     from repro.workloads.packed import save_chunks
     from repro.workloads.trace import Trace, TraceStatistics
 
+    if args.prune is not None:
+        if args.out is not None or args.info is not None or args.verify:
+            print("trace: --prune cannot be combined with --out/--info/--verify",
+                  file=sys.stderr)
+            return 2
+        try:
+            max_bytes = _parse_byte_size(args.prune)
+        except ValueError as error:
+            print(f"trace: {error}", file=sys.stderr)
+            return 2
+        store = TraceStore(args.trace_dir)
+        removed, freed = store.prune(max_bytes)
+        print(
+            f"pruned {removed} artifact{'s' if removed != 1 else ''} "
+            f"({freed} bytes) from {store.directory} "
+            f"(budget {max_bytes} bytes)"
+        )
+        return 0
+
     if args.info is None and args.out is None:
-        print("trace: one of --out or --info is required", file=sys.stderr)
+        print("trace: one of --out, --info or --prune is required", file=sys.stderr)
         return 2
     if args.info is not None and (args.out is not None or args.verify):
         print("trace: --info cannot be combined with --out/--verify",
@@ -317,6 +407,55 @@ def _run_trace_command(args: argparse.Namespace) -> int:
             )
             return 1
         print("--verify: artifact statistics match the generator output")
+    return 0
+
+
+def _run_bench_command(args: argparse.Namespace) -> int:
+    from repro.perfbench import (
+        default_bench_settings,
+        format_bench_report,
+        load_trajectory_point,
+        run_kernel_benchmark,
+        schemas_match,
+    )
+
+    settings = default_bench_settings()
+    payload = run_kernel_benchmark(
+        profile_name=args.profile,
+        scale=args.scale if args.scale is not None else settings["scale"],
+        instructions=(
+            args.instructions
+            if args.instructions is not None
+            else settings["instructions"]
+        ),
+        seed=args.seed,
+        designs=args.designs,
+        repeats=args.repeats if args.repeats is not None else settings["repeats"],
+    )
+    print(format_bench_report(payload))
+
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+
+    if args.expect_schema is not None:
+        try:
+            reference = load_trajectory_point(args.expect_schema)
+        except (OSError, ValueError) as error:
+            print(f"--expect-schema: cannot read {args.expect_schema}: {error}",
+                  file=sys.stderr)
+            return 1
+        if not schemas_match(payload, reference):
+            print(
+                f"--expect-schema: this run's JSON schema drifted from "
+                f"{args.expect_schema}; bump BENCH_SCHEMA_VERSION and refresh "
+                "the committed trajectory point",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"--expect-schema: schema matches {args.expect_schema}")
     return 0
 
 

@@ -108,6 +108,20 @@ class BaseBTB(abc.ABC):
         exactly when the paper's designs would.
         """
 
+    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+        """Write the outcome of a lookup into a reusable prediction slot.
+
+        ``slot`` is a :class:`repro.branch.unit.PredictionSlot`; only its
+        ``set_btb(hit, target, latency_cycles, level)`` write point is used.
+        The default delegates to :meth:`lookup` (so every BTB design works
+        with the packed fast path unchanged); designs on the hot path
+        override it to skip the :class:`BTBLookupResult` construction — the
+        override must mirror :meth:`lookup` decision for decision, statistics
+        call for statistics call.
+        """
+        result = self.lookup(branch_pc, taken=taken)
+        slot.set_btb(result.hit, result.target, result.latency_cycles, result.level)
+
     @abc.abstractmethod
     def update(self, branch_pc: int, kind: BranchKind, target: Optional[int], taken: bool) -> None:
         """Train the BTB with the resolved branch (insert/refresh its entry)."""

@@ -99,6 +99,31 @@ class ConventionalBTB(BaseBTB):
         self.stats.record(False, taken)
         return BTBLookupResult(False, None, 0, "miss")
 
+    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+        """:meth:`lookup` mirrored into a reusable slot (no result object)."""
+        hit, payload = self._main.access(branch_pc)
+        if hit:
+            self.stats.record(True, taken)
+            slot.set_btb(
+                True, payload.target if payload is not None else None,
+                self.latency_cycles, "l1",
+            )
+            return
+        if self._victim is not None:
+            victim_hit, victim_payload = self._victim.access(branch_pc)
+            if victim_hit:
+                self._victim.invalidate(branch_pc)
+                self._main.insert(branch_pc, victim_payload)
+                self.stats.record(True, taken)
+                slot.set_btb(
+                    True,
+                    victim_payload.target if victim_payload is not None else None,
+                    self.latency_cycles, "victim",
+                )
+                return
+        self.stats.record(False, taken)
+        slot.set_btb(False, None, 0, "miss")
+
     def peek_hit(self, branch_pc: int) -> bool:
         if self._main.contains(branch_pc):
             return True
@@ -136,6 +161,15 @@ class PerfectBTB(BaseBTB):
         if hit:
             return BTBLookupResult(True, entry, self.latency_cycles, "perfect")
         return BTBLookupResult(False, None, 0, "miss")
+
+    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+        entry = self._entries.get(branch_pc)
+        hit = entry is not None
+        self.stats.record(hit, taken)
+        if hit:
+            slot.set_btb(True, entry.target, self.latency_cycles, "perfect")
+        else:
+            slot.set_btb(False, None, 0, "miss")
 
     def peek_hit(self, branch_pc: int) -> bool:
         return branch_pc in self._entries

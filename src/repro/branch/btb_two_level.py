@@ -61,6 +61,29 @@ class TwoLevelBTB(BaseBTB):
         self.stats.record(False, taken)
         return BTBLookupResult(False, None, 0, "miss")
 
+    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+        """:meth:`lookup` mirrored into a reusable slot (no result object)."""
+        hit, payload = self._l1.access(branch_pc)
+        if hit:
+            self.stats.record(True, taken)
+            slot.set_btb(
+                True, payload.target if payload is not None else None,
+                self.l1_latency_cycles, "l1",
+            )
+            return
+        l2_hit, l2_payload = self._l2.access(branch_pc)
+        if l2_hit:
+            self._l1.insert(branch_pc, l2_payload)
+            self.l1_misses_served_by_l2 += 1
+            self.stats.record(True, taken, second_level=True)
+            slot.set_btb(
+                True, l2_payload.target if l2_payload is not None else None,
+                self.l2_latency_cycles, "l2",
+            )
+            return
+        self.stats.record(False, taken)
+        slot.set_btb(False, None, 0, "miss")
+
     def peek_hit(self, branch_pc: int) -> bool:
         return self._l1.contains(branch_pc) or self._l2.contains(branch_pc)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.branch.unit import BranchPredictionUnit
+from repro.branch.unit import BranchPredictionUnit, PredictionSlot
 from repro.caches.l1i import InstructionCache
 from repro.caches.llc import SharedLLC
 from repro.core.confluence import Confluence
@@ -189,7 +189,14 @@ class FrontendSimulator:
         This mirrors :meth:`_simulate_region` operation for operation — same
         component calls, same accumulation order — so the results are
         bit-identical; only the Python-level record/attribute overhead is
-        gone.
+        gone.  The loop is also *allocation-free*: one reusable
+        :class:`~repro.branch.unit.PredictionSlot` receives every region's
+        prediction (no ``BranchPrediction``/``BTBLookupResult`` objects on
+        BTBs that override ``lookup_into``), a single
+        :class:`~repro.prefetch.base.PrefetchContext` is mutated per
+        iteration instead of constructed, and designs with no prefetcher
+        (plain :class:`~repro.prefetch.base.NullPrefetcher`) or a perfect
+        L1-I skip the corresponding machinery entirely.
         """
         packed = trace.packed
         records = trace.records  # lazy view, handed to custom prefetchers
@@ -209,7 +216,7 @@ class FrontendSimulator:
         )
         perfect = self.perfect_l1i
         bpu = self.bpu
-        predict = bpu.predict_region
+        predict_into = bpu.predict_region_into
         resolve = bpu.resolve_region
         l1i = self.l1i
         l1i_access = l1i.access
@@ -221,6 +228,24 @@ class FrontendSimulator:
         max_lead = prefetcher.max_lead_cycles
         inflight = self._inflight
         cycle = self._cycle
+
+        # The one prediction scratch the whole loop writes into, and — for
+        # designs that prefetch at all — the one context the prefetcher sees
+        # (index/cycle/demand_miss_block are rewritten per iteration).  A
+        # plain NullPrefetcher never observes anything, so its designs skip
+        # the context and the target loop altogether (a subclass overriding
+        # ``prefetch_targets`` still gets called).
+        slot = PredictionSlot()
+        null_prefetch = type(prefetcher) is NullPrefetcher
+        context = None if null_prefetch else PrefetchContext(
+            records=records,
+            index=0,
+            cycle=0,
+            l1i=l1i,
+            bpu=bpu,
+            demand_miss_block=None,
+            packed=packed,
+        )
 
         starts = packed.starts
         instruction_counts = packed.instruction_counts
@@ -253,40 +278,38 @@ class FrontendSimulator:
                 fallthrough = raw_branch_pc + instruction_size
 
             # --- branch prediction ------------------------------------------
-            prediction = predict(branch_pc, kind, taken, next_pc, fallthrough)
-            btb_result = prediction.btb_result
+            predict_into(slot, branch_pc, kind, taken, next_pc, fallthrough)
             btb_bubble = 0
-            if btb_result.hit and btb_result.latency_cycles > 1:
-                btb_bubble = btb_result.latency_cycles - 1
-            misfetch = prediction.misfetch
-            direction_miss = not prediction.direction_correct and branch_pc is not None
+            if slot.btb_hit and slot.btb_latency_cycles > 1:
+                btb_bubble = slot.btb_latency_cycles - 1
+            misfetch = slot.misfetch
+            direction_miss = not slot.direction_correct and branch_pc is not None
 
             # --- instruction fetch ------------------------------------------
             fetch_stall = 0
             demand_miss_block: Optional[int] = None
             prefetch_hits = 0
             misses = 0
-            accesses = 0
-            first = block_firsts[index]
-            stop = first + block_counts[index] * block_size
-            for block in range(first, stop, block_size):
-                accesses += 1
-                if perfect:
-                    continue
-                if l1i_access(block):
-                    ready = inflight.pop(block, None)
-                    if ready is not None:
-                        remaining = max(0.0, ready - cycle)
-                        if max_lead is not None:
-                            remaining = max(remaining, llc_latency - max_lead)
-                        fetch_stall += int(round(remaining))
-                        prefetch_hits += 1
-                    continue
-                misses += 1
-                demand_miss_block = block if demand_miss_block is None else demand_miss_block
-                fetch_stall += llc_latency + demand_penalty
-                llc_fetch(block)
-                l1i_fill(block, demand=True)
+            accesses = block_counts[index]
+            if not perfect:
+                first = block_firsts[index]
+                stop = first + accesses * block_size
+                for block in range(first, stop, block_size):
+                    if l1i_access(block):
+                        if inflight:
+                            ready = inflight.pop(block, None)
+                            if ready is not None:
+                                remaining = max(0.0, ready - cycle)
+                                if max_lead is not None:
+                                    remaining = max(remaining, llc_latency - max_lead)
+                                fetch_stall += int(round(remaining))
+                                prefetch_hits += 1
+                        continue
+                    misses += 1
+                    demand_miss_block = block if demand_miss_block is None else demand_miss_block
+                    fetch_stall += llc_latency + demand_penalty
+                    llc_fetch(block)
+                    l1i_fill(block, demand=True)
 
             # --- cycle accounting -------------------------------------------
             cycle += count * base_cpi
@@ -297,25 +320,20 @@ class FrontendSimulator:
             cycle += btb_bubble + fetch_stall
 
             # --- prefetching ------------------------------------------------
-            context = PrefetchContext(
-                records=records,
-                index=index,
-                cycle=cycle,
-                l1i=l1i,
-                bpu=bpu,
-                demand_miss_block=demand_miss_block,
-                packed=packed,
-            )
             issued = 0
-            for target in prefetch_targets(context):
-                if perfect:
-                    break
-                if l1i_contains(target) or target in inflight:
-                    continue
-                inflight[target] = cycle + llc_latency
-                llc_fetch(target)
-                l1i_fill(target, demand=False)
-                issued += 1
+            if not null_prefetch:
+                context.index = index
+                context.cycle = cycle
+                context.demand_miss_block = demand_miss_block
+                for target in prefetch_targets(context):
+                    if perfect:
+                        break
+                    if l1i_contains(target) or target in inflight:
+                        continue
+                    inflight[target] = cycle + llc_latency
+                    llc_fetch(target)
+                    l1i_fill(target, demand=False)
+                    issued += 1
 
             # --- resolution / training --------------------------------------
             raw_target = target_col[index]
@@ -340,14 +358,16 @@ class FrontendSimulator:
             result.misfetches += int(misfetch)
             if branch_pc is not None and taken:
                 result.btb_taken_lookups += 1
-                if not btb_result.hit:
+                if not slot.btb_hit:
                     result.btb_taken_misses += 1
-            if btb_result.level in ("l2",):
+            if slot.btb_level in ("l2",):
                 result.second_level_accesses += 1
             result.l1i_accesses += accesses
             result.l1i_misses += misses
             result.l1i_prefetch_hits += prefetch_hits
-            result.direction_mispredictions += int(not prediction.direction_correct)
+            # Counted with the same guarded predicate the stall charge uses:
+            # a branchless region can never report a direction misprediction.
+            result.direction_mispredictions += int(direction_miss)
             result.prefetches_issued += issued
 
         self._cycle = cycle
@@ -469,7 +489,10 @@ class FrontendSimulator:
         result.l1i_accesses += accesses
         result.l1i_misses += misses
         result.l1i_prefetch_hits += prefetch_hits
-        result.direction_mispredictions += int(not prediction.direction_correct)
+        # Same guarded predicate as the stall charge above: a region without
+        # a branch cannot be a direction misprediction, whatever the
+        # prediction object's unguarded flag says.
+        result.direction_mispredictions += int(direction_miss)
         result.prefetches_issued += issued
 
     def _finalize(self, result: FrontendResult) -> None:

@@ -26,6 +26,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 class PrefetchContext:
     """Everything a prefetcher may inspect when deciding what to fetch next.
 
+    The packed fast path allocates ONE context per simulation and mutates
+    ``index``/``cycle``/``demand_miss_block`` in place every region, so
+    prefetchers must treat the context as valid only for the duration of the
+    ``prefetch_targets`` call — stash the values you need, never the context
+    object itself.
+
     Attributes:
         records: the full fetch-region trace being simulated.
         index: position of the region the core is currently fetching.

@@ -293,13 +293,24 @@ class TraceStore:
     :meth:`load` outcomes for observability.
     """
 
-    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self, directory: Union[str, Path, None] = None, mmap: bool = True
+    ) -> None:
         self.directory = Path(directory) if directory is not None else default_trace_dir()
+        #: Serve loads as memoryviews over an mmap of the artifact (the
+        #: zero-copy default): N processes sharing a store read one
+        #: page-cache copy of each trace instead of N heap copies.
+        self.mmap = mmap
         self.hits = 0
         self.misses = 0
+        #: How many :meth:`load` hits were served zero-copy (mmap-backed).
+        self.mapped = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"TraceStore({str(self.directory)!r}, hits={self.hits}, misses={self.misses})"
+        return (
+            f"TraceStore({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, mapped={self.mapped})"
+        )
 
     @classmethod
     def coerce(
@@ -333,11 +344,13 @@ class TraceStore:
         """
         path = self._path(trace_key(profile, instructions, seed))
         try:
-            packed = load_packed(path)
+            packed = load_packed(path, mmap=self.mmap)
         except (OSError, ValueError):
             self.misses += 1
             return None
         self.hits += 1
+        if packed.mapped:
+            self.mapped += 1
         return Trace.from_packed(packed, name=name)
 
     def put(
@@ -364,6 +377,53 @@ class TraceStore:
                 pass
             raise
         return self._path(key)
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Size-bounded LRU sweep: evict cold artifacts until the store fits.
+
+        Artifacts are content-addressed and never expire on their own, so a
+        long-lived shared directory only ever grows; ``prune`` deletes the
+        least-recently-used ``.trace`` files (by ``max(atime, mtime)`` —
+        atime tracks use where the filesystem records it, mtime is the
+        write-time floor on ``noatime`` mounts) until the total size is at
+        most ``max_bytes``.  Returns ``(files removed, bytes freed)``.
+        Processes currently mapping a removed artifact are unaffected (the
+        page cache holds the inode until the last mapping drops).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = []
+        total = 0
+        try:
+            candidates = list(self.directory.glob("*.trace"))
+        except OSError:
+            return (0, 0)
+        for path in candidates:
+            if path.name.startswith(".tmp-"):
+                continue  # an in-flight put(); its os.replace must not race us
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently removed
+            entries.append((max(stat.st_atime, stat.st_mtime), stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda entry: entry[0])
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                if path.exists():
+                    continue  # undeletable (permissions?); its bytes remain
+                total -= size  # a concurrent prune freed it; don't over-evict
+                continue
+            total -= size
+            removed += 1
+            freed += size
+        return (removed, freed)
 
 
 # --------------------------------------------------------------------------- #
@@ -393,13 +453,16 @@ class SweepStats:
     ``traces_loaded`` count how the simulated cells' per-core traces were
     obtained (generator walk vs :class:`TraceStore` artifact).  A warm
     trace-store run reports ``traces_generated == 0`` — CI pins this like
-    ``--expect-cached`` pins ``simulated == 0``.
+    ``--expect-cached`` pins ``simulated == 0``.  ``traces_mapped`` counts
+    the loaded traces that were served zero-copy (memoryviews over an mmap
+    of the artifact rather than a private heap copy).
     """
 
     simulated: int = 0
     cache_hits: int = 0
     traces_generated: int = 0
     traces_loaded: int = 0
+    traces_mapped: int = 0
 
     @property
     def cells(self) -> int:
@@ -550,27 +613,34 @@ def _simulate_cell_counted(
     cell: SweepCell,
     trace_store: Optional[TraceStore],
     workers: Optional[int] = None,
-) -> Tuple[Dict[str, object], int, int]:
-    """Run one cell; returns (summary, traces generated, traces loaded).
+) -> Tuple[Dict[str, object], int, int, int]:
+    """Run one cell; returns (summary, traces generated, loaded, mapped).
 
     The trace counters are deltas over this run, so the scheduler can fold
     them into :class:`SweepStats` even when the memoized driver already holds
-    its traces (in which case both deltas are zero).
+    its traces (in which case every delta is zero).
     """
     cmp_model = _cmp_for_cell(cell, trace_store=trace_store)
     generated_before = cmp_model.traces_generated
     loaded_before = cmp_model.traces_loaded
+    mapped_before = cmp_model.traces_mapped
     result = cmp_model.run_design(cell.spec, workers=workers)
     summary = summarize_result(result, cell.spec, cell.cores)
     return (
         summary,
         cmp_model.traces_generated - generated_before,
         cmp_model.traces_loaded - loaded_before,
+        cmp_model.traces_mapped - mapped_before,
     )
 
 
-def _cell_job(job) -> Tuple[Dict[str, object], int, int]:
-    """Pool-worker entry: rebuilds the trace store from its directory."""
+def _cell_job(job) -> Tuple[Dict[str, object], int, int, int]:
+    """Pool-worker entry: rebuilds the trace store from its directory.
+
+    Workers receive the artifact *directory*, never trace objects: each
+    worker lazily mmaps the artifacts it needs, so all workers share one
+    page-cache copy of every trace instead of pickling heap copies around.
+    """
     cell, trace_dir = job
     store = TraceStore(trace_dir) if trace_dir is not None else None
     return _simulate_cell_counted(cell, store)
@@ -645,11 +715,12 @@ def run_cells(
                 _simulate_cell_counted(cells[i], traces, workers=core_workers)
                 for i in pending
             ]
-        for index, (summary, generated, loaded) in zip(pending, fresh):
+        for index, (summary, generated, loaded, mapped) in zip(pending, fresh):
             summaries[index] = summary
             stats.simulated += 1
             stats.traces_generated += generated
             stats.traces_loaded += loaded
+            stats.traces_mapped += mapped
             if store is not None:
                 store.put(cells[index].key(), summary)
 

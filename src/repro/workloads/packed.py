@@ -29,17 +29,27 @@ and :meth:`PackedTrace.load` give traces a compact binary on-disk form (the
 chunked, so arbitrarily long traces can be streamed to disk with
 :func:`save_chunks` without ever being resident in memory at once.
 
+Columns may be ``array`` objects (the heap form) or read-only
+``memoryview``s over an ``mmap`` of the on-disk artifact —
+``load_packed(path, mmap=True)`` maps a single-chunk, native-byte-order
+file without copying a byte, so every process sharing a trace store reads
+the same page-cache pages instead of each holding a private heap copy.
+Mapped traces behave identically (the parity suite pins it); pickling one
+(e.g. handing it to a worker process) materializes heap arrays.
+
 ``numpy`` is optional: when present it accelerates the
-:attr:`PackedTrace.instruction_count` reduction; every other walk uses the
-pure-``array`` path, which is the behavioral reference throughout.
+:attr:`PackedTrace.instruction_count` and :meth:`PackedTrace.statistics_tuple`
+reductions; the pure-``array`` walks (:meth:`PackedTrace.fold_statistics`)
+remain the behavioral reference, and the test suite asserts the two agree.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap_module
 import struct
 import sys
 from array import array
-from typing import IO, Iterable, Iterator, List, Optional, Tuple
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.instruction import (
     BLOCK_SIZE_BYTES,
@@ -124,12 +134,28 @@ def _empty_columns() -> List[array]:
     return [array(typecode) for _, typecode in _COLUMNS]
 
 
+#: A column is either a heap ``array`` or a (cast) read-only ``memoryview``
+#: over an mmap of the artifact file; both index, slice, iterate and
+#: ``tobytes()`` identically, which is all the consumers use.
+Column = Union[array, memoryview]
+
+
+def _column_typecode(column: Column) -> str:
+    """Element type of a column, whichever backing it has."""
+    typecode = getattr(column, "typecode", None)
+    if typecode is not None:
+        return typecode
+    return column.format
+
+
 class PackedTrace:
     """Structure-of-arrays representation of a fetch-region trace.
 
     Instances are built by :class:`PackedTraceBuilder` (or :func:`load_packed`)
     and are conceptually immutable afterwards; consumers index the column
-    attributes directly.
+    attributes directly.  Columns are ``array``s, or ``memoryview``s over an
+    mmap of the on-disk artifact (see :meth:`from_buffers` /
+    ``load_packed(path, mmap=True)``); :attr:`mapped` tells the two apart.
     """
 
     __slots__ = tuple(name for name, _ in _COLUMNS) + (
@@ -137,7 +163,7 @@ class PackedTrace:
         "_instruction_count",
     )
 
-    def __init__(self, columns: Iterable[array], name: str = "trace") -> None:
+    def __init__(self, columns: Iterable[Column], name: str = "trace") -> None:
         columns = list(columns)
         if len(columns) != len(_COLUMNS):
             raise ValueError(
@@ -147,14 +173,42 @@ class PackedTrace:
         if len(lengths) > 1:
             raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
         for (attr, typecode), column in zip(_COLUMNS, columns):
-            if column.typecode != typecode:
+            if _column_typecode(column) != typecode:
                 raise ValueError(
                     f"column {attr!r} must have typecode {typecode!r}, "
-                    f"got {column.typecode!r}"
+                    f"got {_column_typecode(column)!r}"
                 )
             setattr(self, attr, column)
         self.name = name
         self._instruction_count: Optional[int] = None
+
+    @classmethod
+    def from_buffers(
+        cls, buffers: Sequence[Column], name: str = "trace"
+    ) -> "PackedTrace":
+        """Wrap existing column buffers (typically mmap-backed memoryviews).
+
+        The buffers are adopted as-is — no copy — so the caller's backing
+        storage (an ``mmap``, a shared-memory segment) serves every read.
+        The memoryviews keep their exporter alive, so the mapping cannot be
+        reclaimed while any view (or any :meth:`slice` of one) is reachable.
+        """
+        return cls(buffers, name=name)
+
+    @property
+    def mapped(self) -> bool:
+        """True when the columns are memoryviews over an mmap, not arrays."""
+        return isinstance(self.starts, memoryview)
+
+    def __reduce__(self):
+        # Pickling (e.g. shipping a trace to a worker process) materializes
+        # heap arrays: a memoryview cannot cross a process boundary, and the
+        # receiving side re-maps from the artifact path when it wants
+        # zero-copy (the sweep scheduler hands workers paths, not traces).
+        raw = tuple(
+            getattr(self, attr).tobytes() for attr, _ in _COLUMNS
+        )
+        return (_unpickle_packed, (self.name, raw))
 
     # ------------------------------------------------------------------ #
     # Basic shape
@@ -266,12 +320,69 @@ class PackedTrace:
         unique_blocks, unique_taken_branches)``;
         :meth:`repro.workloads.trace.Trace.statistics` wraps it in a
         :class:`~repro.workloads.trace.TraceStatistics`.
+
+        With numpy available the pass is vectorized;
+        :meth:`statistics_tuple_reference` keeps the pure-``array`` loop as
+        the behavioral reference, and the test suite asserts the two agree.
         """
+        if _np is not None and len(self):
+            return self._statistics_tuple_numpy()
+        return self.statistics_tuple_reference()
+
+    def statistics_tuple_reference(self):
+        """The pure-``array`` statistics pass (the vectorized path's oracle)."""
         counters = [0] * 9
         blocks: set = set()
         taken_pcs: set = set()
         self.fold_statistics(counters, blocks, taken_pcs)
         return tuple(counters) + (len(blocks), len(taken_pcs))
+
+    def _statistics_tuple_numpy(self):
+        np = _np
+        branch_pcs = np.frombuffer(self.branch_pcs, dtype=np.int64)
+        kinds = np.frombuffer(self.kinds, dtype=np.int8)
+        takens = np.frombuffer(self.takens, dtype=np.int8) != 0
+        has_branch = branch_pcs != NO_VALUE
+        taken_mask = has_branch & takens
+
+        conditional_mask = has_branch & (
+            kinds == _KIND_TO_CODE[BranchKind.CONDITIONAL]
+        )
+        call_mask = has_branch & (
+            (kinds == _KIND_TO_CODE[BranchKind.CALL])
+            | (kinds == _KIND_TO_CODE[BranchKind.INDIRECT_CALL])
+        )
+        indirect_mask = has_branch & (
+            (kinds == _KIND_TO_CODE[BranchKind.INDIRECT])
+            | (kinds == _KIND_TO_CODE[BranchKind.INDIRECT_CALL])
+            | (kinds == _KIND_TO_CODE[BranchKind.RETURN])
+        )
+        return_mask = has_branch & (kinds == _KIND_TO_CODE[BranchKind.RETURN])
+
+        # Every region touches its first block; a region spanning k blocks
+        # additionally touches first + 1..k-1 strides.  Expanding stride by
+        # stride keeps the working set at one address array per span length
+        # (spans are tiny — a region rarely crosses more than a few blocks).
+        firsts = np.frombuffer(self.block_firsts, dtype=np.int64)
+        counts = np.frombuffer(self.block_counts, dtype=np.int32)
+        parts = [firsts]
+        for stride in range(1, int(counts.max())):
+            parts.append(firsts[counts > stride] + stride * BLOCK_SIZE_BYTES)
+        unique_blocks = int(np.unique(np.concatenate(parts)).size)
+
+        return (
+            self.instruction_count,
+            len(self),
+            int(has_branch.sum()),
+            int(taken_mask.sum()),
+            int(conditional_mask.sum()),
+            int((conditional_mask & takens).sum()),
+            int(call_mask.sum()),
+            int(return_mask.sum()),
+            int(indirect_mask.sum()),
+            unique_blocks,
+            int(np.unique(branch_pcs[taken_mask]).size),
+        )
 
     # ------------------------------------------------------------------ #
     # On-disk form
@@ -334,8 +445,122 @@ def _read_exact(handle: IO[bytes], size: int) -> bytes:
     return data
 
 
-def load_packed(path) -> PackedTrace:
-    """Read a packed trace written by :func:`save_chunks`/:meth:`~PackedTrace.save`."""
+def _unpickle_packed(name: str, raw_columns: Tuple[bytes, ...]) -> PackedTrace:
+    """Rebuild a pickled :class:`PackedTrace` as heap arrays."""
+    columns = []
+    for (_, typecode), raw in zip(_COLUMNS, raw_columns):
+        column = array(typecode)
+        column.frombytes(raw)
+        columns.append(column)
+    return PackedTrace(columns, name=name)
+
+
+class _MappedReader:
+    """Cursor over an mmap'd packed-trace file (zero-copy field reads)."""
+
+    __slots__ = ("view", "offset")
+
+    def __init__(self, view: memoryview) -> None:
+        self.view = view
+        self.offset = 0
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        end = self.offset + fmt.size
+        if end > len(self.view):
+            raise ValueError("truncated packed trace file")
+        values = fmt.unpack_from(self.view, self.offset)
+        self.offset = end
+        return values
+
+    def take(self, size: int) -> memoryview:
+        end = self.offset + size
+        if end > len(self.view):
+            raise ValueError("truncated packed trace file")
+        chunk = self.view[self.offset:end]
+        self.offset = end
+        return chunk
+
+
+def _load_packed_mapped(path) -> Optional[PackedTrace]:
+    """Zero-copy loader: columns become memoryviews over an mmap of ``path``.
+
+    Only single-chunk, native-byte-order artifacts can be mapped (a column
+    split across chunks is not one contiguous byte range); returns ``None``
+    when the file needs the copying reader instead.  Malformed files raise
+    exactly like :func:`load_packed` — fallback is for *layout*, never for
+    corruption.
+    """
+    with open(path, "rb") as handle:
+        try:
+            mapping = _mmap_module.mmap(
+                handle.fileno(), 0, access=_mmap_module.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            # Un-mappable handle (empty file, exotic filesystem): the
+            # copying reader will produce its usual result or error.
+            return None
+    reader = _MappedReader(memoryview(mapping))
+    magic, version, byteorder, _ = reader.unpack(_HEADER)
+    if magic != _MAGIC:
+        raise ValueError(f"not a packed trace file: {path}")
+    if version != PACKED_TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"packed trace format version {version} is not supported "
+            f"(expected {PACKED_TRACE_FORMAT_VERSION})"
+        )
+    if byteorder != (0 if sys.byteorder == "little" else 1):
+        return None  # foreign byte order: the copying reader byteswaps
+    (name_length,) = reader.unpack(_U16)
+    name = bytes(reader.take(name_length)).decode("utf-8")
+    column_views: Optional[List[memoryview]] = None
+    while True:
+        (marker,) = reader.unpack(_CHUNK_MARKER)
+        if marker == 0:
+            break
+        if column_views is not None:
+            return None  # multi-chunk: columns are not contiguous
+        reader.unpack(_U64)  # chunk region count (trailer re-validates)
+        column_views = []
+        for _, typecode in _COLUMNS:
+            (byte_length,) = reader.unpack(_U64)
+            try:
+                column_views.append(reader.take(byte_length).cast(typecode))
+            except TypeError:
+                # A length that is not a multiple of the element size is
+                # corruption; surface it as ValueError exactly like the
+                # copying reader so TraceStore treats it as a clean miss.
+                raise ValueError(
+                    f"corrupt packed trace column in {path}: {byte_length} "
+                    f"bytes is not a whole number of {typecode!r} elements"
+                ) from None
+    regions, instructions = reader.unpack(_TRAILER)
+    if column_views is None:
+        column_views = [
+            reader.view[0:0].cast(typecode) for _, typecode in _COLUMNS
+        ]
+    trace = PackedTrace.from_buffers(column_views, name=name)
+    if len(trace) != regions or trace.instruction_count != instructions:
+        raise ValueError(
+            f"packed trace trailer mismatch in {path}: "
+            f"{len(trace)} regions/{trace.instruction_count} instructions read, "
+            f"trailer says {regions}/{instructions}"
+        )
+    return trace
+
+
+def load_packed(path, mmap: bool = False) -> PackedTrace:
+    """Read a packed trace written by :func:`save_chunks`/:meth:`~PackedTrace.save`.
+
+    With ``mmap=True`` the columns of a single-chunk, native-byte-order
+    artifact are served as memoryviews straight over the page cache — no
+    heap copy, shared across every process mapping the same file.  Files
+    that cannot be mapped (multi-chunk streams, foreign byte order) fall
+    back to the copying reader transparently.
+    """
+    if mmap:
+        trace = _load_packed_mapped(path)
+        if trace is not None:
+            return trace
     with open(path, "rb") as handle:
         magic, version, byteorder, _ = _HEADER.unpack(_read_exact(handle, _HEADER.size))
         if magic != _MAGIC:

@@ -39,7 +39,105 @@ class TestTraceCommand:
     def test_requires_a_mode(self, capsys):
         code = main(["trace", "--profile", "oltp_db2"])
         assert code == 2
-        assert "--out or --info" in capsys.readouterr().err
+        assert "one of --out, --info or --prune" in capsys.readouterr().err
+
+
+class TestTracePrune:
+    def _populated_store(self, tmp_path):
+        from repro.sweep import TraceStore
+        from repro.workloads import generate_trace, get_profile, synthesize_program
+
+        store = TraceStore(tmp_path / "traces")
+        profile = get_profile("oltp_db2").scaled(0.08)
+        program = synthesize_program(profile)
+        for seed in (1, 2, 3):
+            trace = generate_trace(program, 2_000, seed=seed)
+            store.put(profile, 2_000, seed, trace)
+        return store
+
+    def test_prune_to_zero_empties_the_store(self, tmp_path, capsys):
+        store = self._populated_store(tmp_path)
+        assert len(list(store.directory.glob("*.trace"))) == 3
+        code = main(["trace", "--prune", "0", "--trace-dir", str(store.directory)])
+        assert code == 0
+        assert "pruned 3 artifacts" in capsys.readouterr().out
+        assert list(store.directory.glob("*.trace")) == []
+
+    def test_prune_accepts_size_suffixes(self, tmp_path, capsys):
+        store = self._populated_store(tmp_path)
+        # 1G comfortably holds three tiny artifacts: nothing is evicted.
+        code = main(["trace", "--prune", "1G", "--trace-dir", str(store.directory)])
+        assert code == 0
+        assert "pruned 0 artifacts" in capsys.readouterr().out
+        assert len(list(store.directory.glob("*.trace"))) == 3
+
+    def test_prune_rejects_garbage_sizes(self, capsys):
+        code = main(["trace", "--prune", "lots"])
+        assert code == 2
+        assert "not a byte size" in capsys.readouterr().err
+
+    def test_prune_cannot_combine_with_out(self, tmp_path, capsys):
+        code = main([
+            "trace", "--prune", "0", "--profile", "oltp_db2",
+            "--out", str(tmp_path / "x.trace"),
+        ])
+        assert code == 2
+        assert "--prune cannot be combined" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    BENCH_ARGS = [
+        "bench", "--scale", "0.05", "--instructions", "2000",
+        "--repeats", "1", "--designs", "baseline",
+    ]
+
+    def test_bench_writes_a_stable_schema_point(self, tmp_path, capsys):
+        from repro.perfbench import BENCH_SCHEMA_VERSION
+
+        out = tmp_path / "bench.json"
+        code = main(self.BENCH_ARGS + ["--json", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "packed speedup over record path" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["trace"]["mapped"] is True
+        assert payload["designs"][0]["design"] == "baseline"
+        assert payload["designs"][0]["regions_per_sec"] > 0
+        assert payload["record_path"]["regions_per_sec"] > 0
+        assert payload["peak_rss_kb"] > 0
+
+    def test_expect_schema_accepts_an_equivalent_run(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        capsys.readouterr()
+        code = main(self.BENCH_ARGS + ["--expect-schema", str(out)])
+        assert code == 0
+        assert "schema matches" in capsys.readouterr().out
+
+    def test_expect_schema_fails_on_drift(self, tmp_path, capsys):
+        from repro.perfbench import BENCH_SCHEMA_VERSION
+
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps({
+            "schema": BENCH_SCHEMA_VERSION, "bench": "kernel_hotloop",
+            "surprise": True,
+        }))
+        code = main(self.BENCH_ARGS + ["--expect-schema", str(drifted)])
+        assert code == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_committed_trajectory_point_matches_current_schema(self, capsys):
+        # BENCH_kernel.json at the repo root is the recorded trajectory; a
+        # fresh tiny run must still emit the same schema (the CI perf job's
+        # contract, pinned here so it cannot rot unnoticed).
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+        assert committed.exists()
+        code = main(self.BENCH_ARGS + ["--expect-schema", str(committed)])
+        assert code == 0
+        assert "schema matches" in capsys.readouterr().out
 
 
 class TestSweepCommand:

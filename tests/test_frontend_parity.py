@@ -82,6 +82,201 @@ class TestPackedRecordParity:
         assert dataclasses.asdict(fast) == dataclasses.asdict(via_store)
 
 
+class TestMmapHeapParity:
+    """Zero-copy acceptance pin: mmap-backed columns are not a model knob.
+
+    A warm :class:`TraceStore` serves memoryviews over an mmap of the
+    artifact by default; every registered design point must produce the
+    bit-identical :class:`FrontendResult` it produces on the generated heap
+    trace — including artifacts written by the chunked streaming path,
+    which the mapper cannot serve zero-copy and must fall back to heap for.
+    """
+
+    def _warm_store(self, tiny_program, tiny_trace, tmp_path, mmap=True):
+        store = TraceStore(tmp_path, mmap=mmap)
+        store.put(tiny_program.profile, 30_000, 3, tiny_trace)
+        return store
+
+    def test_store_serves_mmap_backed_columns(
+        self, tiny_program, tiny_trace, tmp_path
+    ):
+        store = self._warm_store(tiny_program, tiny_trace, tmp_path)
+        loaded = store.load(tiny_program.profile, 30_000, 3)
+        assert loaded is not None and loaded.packed.mapped
+        assert store.mapped == 1
+        heap_store = TraceStore(tmp_path, mmap=False)
+        heap = heap_store.load(tiny_program.profile, 30_000, 3)
+        assert heap is not None and not heap.packed.mapped
+        assert heap_store.mapped == 0
+
+    def test_mmap_parity_across_the_whole_catalog(
+        self, tiny_program, tiny_trace, tmp_path
+    ):
+        from repro.core.designs import DESIGN_POINTS
+
+        store = self._warm_store(tiny_program, tiny_trace, tmp_path)
+        mapped = store.load(tiny_program.profile, 30_000, 3, name=tiny_trace.name)
+        assert mapped is not None and mapped.packed.mapped
+        for design in DESIGN_POINTS:
+            spec = resolve_design(design)
+            heap_sim, _ = design_from_spec(spec, tiny_program)
+            mapped_sim, _ = design_from_spec(spec, tiny_program)
+            heap_result = heap_sim.run(tiny_trace)
+            mapped_result = mapped_sim.run(mapped)
+            assert dataclasses.asdict(heap_result) == dataclasses.asdict(
+                mapped_result
+            ), design
+
+    def test_mmap_parity_after_chunked_streaming_round_trip(
+        self, tiny_program, tiny_trace, tmp_path
+    ):
+        # save_chunks with a small chunk size writes a multi-chunk artifact;
+        # the mapper cannot serve it zero-copy and must fall back to the
+        # copying reader — with, again, bit-identical results.
+        from repro.workloads.packed import load_packed, save_chunks
+        from repro.workloads.trace import Trace
+
+        path = tmp_path / "streamed.trace"
+        save_chunks(
+            path, tiny_trace.name, tiny_trace.packed._chunks(chunk_regions=512)
+        )
+        reloaded = load_packed(path, mmap=True)
+        assert not reloaded.mapped  # multi-chunk: heap fallback
+        fast, _ = _run_both(tiny_program, tiny_trace, "confluence")
+        via_stream, _ = _run_both(
+            tiny_program, Trace.from_packed(reloaded), "confluence"
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(via_stream)
+
+
+class TestAllocationFreeKernel:
+    """The packed loop must not construct per-region Python objects.
+
+    The scratch-slot API (``predict_region_into``/``lookup_into``) and the
+    hoisted ``PrefetchContext`` are regression-pinned by counting
+    constructor/entry-point calls: a design on the hot path must complete a
+    whole run with zero ``predict_region`` calls (slot API used instead),
+    zero ``lookup`` calls on slot-capable BTBs, and at most one
+    ``PrefetchContext`` ever built (zero when the design has no prefetcher).
+    """
+
+    @staticmethod
+    def _count_calls(monkeypatch, cls, method):
+        calls = {"count": 0}
+        original = getattr(cls, method)
+
+        def wrapper(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(cls, method, wrapper)
+        return calls
+
+    def test_baseline_allocates_no_prediction_objects(
+        self, tiny_program, tiny_trace, monkeypatch
+    ):
+        from repro.branch.btb_conventional import ConventionalBTB
+        from repro.branch.unit import BranchPredictionUnit, PredictionSlot
+        from repro.prefetch.base import PrefetchContext
+
+        predictions = self._count_calls(
+            monkeypatch, BranchPredictionUnit, "predict_region"
+        )
+        lookups = self._count_calls(monkeypatch, ConventionalBTB, "lookup")
+        contexts = self._count_calls(monkeypatch, PrefetchContext, "__init__")
+        slots = self._count_calls(monkeypatch, PredictionSlot, "__init__")
+
+        simulator, _ = design_from_spec(resolve_design("baseline"), tiny_program)
+        result = simulator.run(tiny_trace)
+        assert result.fetch_regions > 0
+        assert predictions["count"] == 0  # slot API replaced predict_region
+        assert lookups["count"] == 0  # lookup_into replaced lookup
+        assert contexts["count"] == 0  # no prefetcher: no context at all
+        assert slots["count"] == 1  # one reusable scratch for the whole run
+
+    def test_two_level_btb_uses_the_slot_lookup(
+        self, tiny_program, tiny_trace, monkeypatch
+    ):
+        from repro.branch.btb_two_level import TwoLevelBTB
+
+        lookups = self._count_calls(monkeypatch, TwoLevelBTB, "lookup")
+        simulator, _ = design_from_spec(
+            resolve_design("2level_shift"), tiny_program
+        )
+        result = simulator.run(tiny_trace)
+        assert result.fetch_regions > 0
+        assert lookups["count"] == 0
+
+    def test_prefetching_design_reuses_one_context(
+        self, tiny_program, tiny_trace, monkeypatch
+    ):
+        from repro.prefetch.base import PrefetchContext
+
+        contexts = self._count_calls(monkeypatch, PrefetchContext, "__init__")
+        simulator, _ = design_from_spec(resolve_design("confluence"), tiny_program)
+        result = simulator.run(tiny_trace)
+        assert result.fetch_regions > 0
+        assert contexts["count"] == 1  # hoisted out of the region loop
+
+    def test_slot_fallback_btb_still_bit_identical(self, tiny_program, tiny_trace):
+        # PhantomBTB/AirBTB keep the generic lookup_into (which delegates to
+        # lookup); the slot plumbing must not change their results either.
+        for design in ("phantom_shift", "confluence"):
+            fast, slow = _run_both(tiny_program, tiny_trace, design)
+            assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+
+class TestDirectionMispredictionPredicate:
+    """Counter and stall charge share one predicate (the satellite bugfix).
+
+    A region without a terminating branch can never report a direction
+    misprediction — whatever its ``taken`` column says — because there is
+    no branch to mispredict; both simulation paths must agree, counter and
+    cycle charge alike.
+    """
+
+    def _branchless_taken_trace(self):
+        from repro.workloads.trace import FetchRecord, Trace
+
+        base = 0x4000_0000
+        records = []
+        for _ in range(50):
+            # A branchless region whose raw taken flag is set (permitted by
+            # the FetchRecord contract, e.g. a trace cut mid-branch).
+            records.append(FetchRecord(
+                start=base, instruction_count=4, branch_pc=None,
+                kind=None, taken=True, target=None, next_pc=base + 0x400,
+            ))
+            records.append(FetchRecord(
+                start=base + 0x400, instruction_count=4, branch_pc=base + 0x40C,
+                kind=None, taken=True, target=base, next_pc=base,
+            ))
+        return Trace(records, name="branchless_taken")
+
+    @pytest.mark.parametrize("use_packed", (True, False))
+    def test_branchless_region_reports_no_direction_misprediction(
+        self, tiny_program, use_packed
+    ):
+        trace = self._branchless_taken_trace()
+        simulator, _ = design_from_spec(resolve_design("baseline"), tiny_program)
+        result = simulator.run(trace, warmup_fraction=0.0, use_packed=use_packed)
+        # Half the regions are branchless-with-taken; none may be counted.
+        assert result.fetch_regions == 100
+        assert result.direction_mispredictions == 0
+        assert result.direction_stall_cycles == 0
+
+    def test_counter_equals_charge_on_generated_traces(
+        self, tiny_program, tiny_trace
+    ):
+        config_penalty = 12  # FrontendConfig default
+        for design in PARITY_DESIGNS:
+            simulator, _ = design_from_spec(resolve_design(design), tiny_program)
+            result = simulator.run(tiny_trace)
+            assert result.direction_stall_cycles == (
+                result.direction_mispredictions * config_penalty
+            ), design
+
+
 class TestSpeedupOverPolicy:
     """Zero-IPC operands fail loudly instead of reading as 0x."""
 

@@ -143,6 +143,36 @@ class TestStatisticsParity:
         trace = Trace(records, name="hand")
         assert trace.statistics() == _reference_statistics(records)
 
+    def test_vectorized_statistics_match_the_pure_loop(self, tiny_trace):
+        # statistics_tuple may take the numpy path; the pure-array fold is
+        # the behavioral reference and the two must agree exactly.
+        assert tiny_trace.packed.statistics_tuple() == \
+            tiny_trace.packed.statistics_tuple_reference()
+
+    def test_vectorized_statistics_match_on_handcrafted_edge_cases(self):
+        records = [
+            _record(BASE, count=20, kind=BranchKind.CALL, target=BASE + 0x400),
+            _record(BASE + 0x400, count=3, kind=BranchKind.RETURN, next_pc=BASE + 80),
+            _record(BASE + 80, count=5, branch=False),
+            _record(BASE + 100, count=2, kind=BranchKind.INDIRECT, next_pc=BASE),
+            _record(BASE, count=4, taken=False),
+            _record(BASE + 0x800, count=40, kind=BranchKind.INDIRECT_CALL,
+                    next_pc=BASE),
+        ]
+        packed = Trace(records, name="edges").packed
+        assert packed.statistics_tuple() == packed.statistics_tuple_reference()
+
+    def test_vectorized_branch_density_matches_the_pure_loop(self, tiny_trace):
+        vectorized = tiny_trace.branch_density()
+        reference = tiny_trace.branch_density_reference()
+        assert vectorized["static"] == pytest.approx(reference["static"])
+        assert vectorized["dynamic"] == pytest.approx(reference["dynamic"])
+
+    def test_vectorized_branch_density_on_branchless_trace(self):
+        trace = Trace([_record(BASE, branch=False) for _ in range(5)], name="nb")
+        assert trace.branch_density() == {"static": 0.0, "dynamic": 0.0}
+        assert trace.branch_density_reference() == {"static": 0.0, "dynamic": 0.0}
+
     def test_branch_density_matches_record_walk(self, tiny_trace):
         # Reference implementation over the record view.
         from repro.isa.instruction import block_address as baddr
@@ -284,6 +314,102 @@ class TestSaveLoad:
         path.write_bytes(b"NOPE" + b"\x00" * 64)
         with pytest.raises(ValueError, match="not a packed trace"):
             load_packed(path)
+
+
+class TestMmapLoad:
+    """``load_packed(path, mmap=True)``: zero-copy memoryview columns."""
+
+    def _saved(self, tiny_trace, tmp_path, **save_kwargs):
+        path = tmp_path / "t.trace"
+        tiny_trace.packed.save(path, **save_kwargs)
+        return path
+
+    def test_mapped_columns_equal_heap_columns(self, tiny_trace, tmp_path):
+        path = self._saved(tiny_trace, tmp_path)
+        heap = load_packed(path)
+        mapped = load_packed(path, mmap=True)
+        assert mapped.mapped and not heap.mapped
+        assert isinstance(mapped.starts, memoryview)
+        for attr in ("starts", "instruction_counts", "branch_pcs", "kinds",
+                     "takens", "targets", "next_pcs", "block_firsts",
+                     "block_counts"):
+            assert list(getattr(mapped, attr)) == list(getattr(heap, attr)), attr
+        assert mapped.name == heap.name
+        assert mapped.instruction_count == heap.instruction_count
+        assert Trace.from_packed(mapped).statistics() == \
+            Trace.from_packed(heap).statistics()
+
+    def test_multi_chunk_artifact_falls_back_to_heap(self, tiny_trace, tmp_path):
+        path = self._saved(tiny_trace, tmp_path, chunk_regions=123)
+        mapped = load_packed(path, mmap=True)
+        assert not mapped.mapped  # columns are split across chunks
+        assert list(mapped.starts) == list(tiny_trace.packed.starts)
+
+    def test_slices_of_mapped_traces_stay_views(self, tiny_trace, tmp_path):
+        path = self._saved(tiny_trace, tmp_path)
+        mapped = load_packed(path, mmap=True)
+        window = mapped.slice(10, 50)
+        assert window.mapped and len(window) == 40
+        assert list(window.starts) == list(tiny_trace.packed.starts[10:50])
+
+    def test_pickling_a_mapped_trace_materializes_heap_arrays(
+        self, tiny_trace, tmp_path
+    ):
+        import pickle
+
+        path = self._saved(tiny_trace, tmp_path)
+        mapped = load_packed(path, mmap=True)
+        clone = pickle.loads(pickle.dumps(mapped))
+        assert not clone.mapped  # memoryviews cannot cross process boundaries
+        assert clone.name == mapped.name
+        assert list(clone.starts) == list(mapped.starts)
+        assert list(clone.block_counts) == list(mapped.block_counts)
+
+    def test_mapped_loader_rejects_corruption_like_the_heap_loader(
+        self, tiny_trace, tmp_path
+    ):
+        path = self._saved(tiny_trace, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_packed(path, mmap=True)
+        path.write_bytes(b"NOPE" + data[4:])
+        with pytest.raises(ValueError, match="not a packed trace"):
+            load_packed(path, mmap=True)
+
+    def test_torn_column_length_is_a_value_error_not_a_type_error(
+        self, tiny_trace, tmp_path
+    ):
+        # A column byte length that is not a multiple of the element size is
+        # corruption; the mapped loader must raise ValueError (so a trace
+        # store counts a clean miss), never let memoryview.cast's TypeError
+        # escape.
+        import struct
+
+        path = self._saved(tiny_trace, tmp_path)
+        data = bytearray(path.read_bytes())
+        # Layout: header(8) + u16 name length + name + chunk marker(1) +
+        # u64 region count, then the first column's u64 byte length.
+        (name_length,) = struct.unpack_from("<H", data, 8)
+        offset = 8 + 2 + name_length + 1 + 8
+        (byte_length,) = struct.unpack_from("<Q", data, offset)
+        struct.pack_into("<Q", data, offset, byte_length - 1)
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            load_packed(path, mmap=True)
+        with pytest.raises(ValueError):
+            load_packed(path)  # the heap reader agrees on the error type
+
+    def test_from_buffers_validates_like_the_constructor(self, tiny_trace):
+        packed = tiny_trace.packed
+        columns = [getattr(packed, attr) for attr in
+                   ("starts", "instruction_counts", "branch_pcs", "kinds",
+                    "takens", "targets", "next_pcs", "block_firsts",
+                    "block_counts")]
+        adopted = PackedTrace.from_buffers(columns, name="adopted")
+        assert len(adopted) == len(packed)
+        with pytest.raises(ValueError, match="columns"):
+            PackedTrace.from_buffers(columns[:-1], name="short")
 
 
 class TestFrontendDefaultsToPacked:

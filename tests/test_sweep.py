@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -173,6 +174,95 @@ class TestTraceStore:
         assert store.load(profile, 5_000, 42) is None
         assert store.misses == 1
 
+    def test_loads_are_mmap_backed_by_default(self, tmp_path):
+        from repro.workloads import generate_trace
+
+        store = TraceStore(tmp_path)
+        profile = get_profile("oltp_db2").scaled(0.08)
+        program = synthesize_program(profile)
+        store.put(profile, 5_000, 42, generate_trace(program, 5_000, seed=42))
+        loaded = store.load(profile, 5_000, 42)
+        assert loaded is not None and loaded.packed.mapped
+        assert store.mapped == 1
+        heap_store = TraceStore(tmp_path, mmap=False)
+        heap = heap_store.load(profile, 5_000, 42)
+        assert heap is not None and not heap.packed.mapped
+        assert heap_store.mapped == 0
+        assert all(a == b for a, b in zip(loaded.records, heap.records))
+
+
+class TestTraceStorePrune:
+    """Size-bounded LRU eviction for long-lived shared store directories."""
+
+    def _store_with_artifacts(self, tmp_path, seeds=(1, 2, 3)):
+        from repro.workloads import generate_trace
+
+        store = TraceStore(tmp_path / "traces")
+        profile = get_profile("oltp_db2").scaled(0.08)
+        program = synthesize_program(profile)
+        paths = []
+        for order, seed in enumerate(seeds):
+            trace = generate_trace(program, 2_000, seed=seed)
+            path = store.put(profile, 2_000, seed, trace)
+            # Deterministic LRU order regardless of filesystem timestamp
+            # granularity: seed i was last used i hours after the epoch.
+            stamp = 3600.0 * (order + 1)
+            os.utime(path, (stamp, stamp))
+            paths.append(path)
+        return store, profile, paths
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        store, _, paths = self._store_with_artifacts(tmp_path)
+        sizes = [path.stat().st_size for path in paths]
+        budget = sum(sizes) - 1  # force out exactly the single coldest artifact
+        removed, freed = store.prune(budget)
+        assert removed == 1
+        assert freed == sizes[0]
+        assert not paths[0].exists()  # the coldest artifact went first
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_prune_to_zero_removes_everything(self, tmp_path):
+        store, _, paths = self._store_with_artifacts(tmp_path)
+        total = sum(path.stat().st_size for path in paths)
+        removed, freed = store.prune(0)
+        assert removed == 3
+        assert freed == total
+        assert all(not path.exists() for path in paths)
+
+    def test_prune_within_budget_is_a_no_op(self, tmp_path):
+        store, _, paths = self._store_with_artifacts(tmp_path)
+        removed, freed = store.prune(1 << 30)
+        assert (removed, freed) == (0, 0)
+        assert all(path.exists() for path in paths)
+
+    def test_pruned_artifact_is_regenerated_on_demand(self, tmp_path):
+        store, profile, _ = self._store_with_artifacts(tmp_path)
+        store.prune(0)
+        assert store.load(profile, 2_000, 1) is None  # clean miss, no error
+        assert store.misses == 1
+
+    def test_prune_on_missing_directory_is_a_no_op(self, tmp_path):
+        store = TraceStore(tmp_path / "never-created")
+        assert store.prune(100) == (0, 0)
+
+    def test_prune_never_touches_in_flight_put_tempfiles(self, tmp_path):
+        # put() streams into a .tmp-*.trace sibling before its atomic rename;
+        # a concurrent prune must neither delete it (the writer's os.replace
+        # would explode) nor count its bytes toward the budget.
+        store, _, paths = self._store_with_artifacts(tmp_path)
+        tmp = store.directory / ".tmp-inflight.trace"
+        tmp.write_bytes(b"x" * 1024)
+        os.utime(tmp, (1.0, 1.0))  # older than every real artifact
+        removed, _ = store.prune(0)
+        assert removed == len(paths)
+        assert tmp.exists()
+        assert all(not path.exists() for path in paths)
+
+    def test_prune_rejects_negative_budgets(self, tmp_path):
+        store = TraceStore(tmp_path)
+        with pytest.raises(ValueError, match="non-negative"):
+            store.prune(-1)
+
 
 class TestTraceStoreInSweeps:
     """The PR's second acceptance pin: a warm store means zero generations."""
@@ -191,6 +281,9 @@ class TestTraceStoreInSweeps:
         warm = run_sweep(PROFILES, DESIGNS, trace_store=store_dir, **GRID_KW)
         assert warm.stats.traces_generated == 0
         assert warm.stats.traces_loaded == len(PROFILES) * GRID_KW["cores"]
+        # Store loads are mmap-backed by default: every loaded trace is a
+        # zero-copy view over the artifact, not a private heap copy.
+        assert warm.stats.traces_mapped == warm.stats.traces_loaded
         assert warm.summaries == cold.summaries
 
     def test_store_fed_grid_is_bit_identical_to_generated(self, tmp_path):
