@@ -14,7 +14,9 @@ def test_fig08_airbtb_coverage_breakdown(workloads, benchmark, shape_assertions)
         rows = []
         for label, (program, trace) in workloads.items():
             steps = airbtb_ablation(program, trace)
-            rows.append({"workload": label, **{k: v for k, v in steps.items() if k != "baseline_mpki"}})
+            rows.append(
+                {"workload": label, **{k: v for k, v in steps.items() if k != "baseline_mpki"}}
+            )
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Consolidated scale-out server: a heterogeneous multi-program CMP.
+
+The paper's deployment model is consolidation — OLTP next to decision
+support next to media streaming on one chip — and a Scenario expresses it
+directly: a named per-core workload mix, dealt over the cores, with one
+shared SHIFT history per co-located profile (recorded by that profile's
+first core, replayed by the rest).
+
+This walkthrough runs the ``consolidated_oltp_dss`` catalog scenario
+through the Session facade, then prints the per-profile breakdown —
+who wins and who pays inside the consolidation — and the scenario
+comparison table across the catalog's mixes.
+"""
+
+from repro import Session, get_scenario
+from repro.analysis import scenario_comparison_rows, scenario_grid
+
+DESIGNS = ["baseline", "2level_shift", "confluence"]
+
+
+def main() -> None:
+    scenario = get_scenario("consolidated_oltp_dss")
+    session = Session(scenario=scenario, scale=0.3, cores=8, instructions_per_core=60_000)
+    mix = session.scenario.core_counts()
+    print(f"Simulating '{scenario.name}' on {session.cores} cores: "
+          + ", ".join(f"{count}x {name}" for name, count in mix.items()) + "\n")
+
+    report = session.run(DESIGNS)
+    print(f"{'design':<16} {'chip IPC':>9} {'speedup':>9} {'BTB MPKI':>9}")
+    for design in report.designs:
+        row = report[design]
+        print(f"{design:<16} {row['ipc']:>9.3f} {row['speedup']:>9.3f} "
+              f"{row['btb_mpki']:>9.2f}")
+
+    print("\nPer-profile breakdown (confluence):")
+    breakdown = report["confluence"]["per_profile"]
+    for profile, group in breakdown.items():
+        print(f"  {profile:<18} {group['cores']} cores  "
+              f"ipc {group['ipc']:.3f}  btb_mpki {group['btb_mpki']:.2f}")
+
+    print("\nScenario comparison (chip IPC and the per-profile split):")
+    reports = scenario_grid(
+        scenarios=("consolidated_oltp_dss", "noisy_neighbor_media"),
+        designs=["baseline", "confluence"],
+        scale=0.15, cores=4, instructions_per_core=30_000,
+    )
+    for row in scenario_comparison_rows(reports):
+        split = ", ".join(
+            f"{key[4:-1]} {value:.3f}"
+            for key, value in row.items() if key.startswith("ipc[")
+        )
+        print(f"  {row['scenario']:<24} {row['design']:<12} "
+              f"ipc {row['ipc']:.3f}  speedup {row['speedup']:.3f}  ({split})")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,8 @@ def main() -> None:
           f"'{session.profile.name}'...\n")
     report = session.run(["baseline", "2level_shift", "confluence"])
 
-    print(f"{'design':<16} {'throughput (IPC)':>17} {'speedup':>9} {'BTB MPKI':>9} {'L1-I MPKI':>10}")
+    print(f"{'design':<16} {'throughput (IPC)':>17} {'speedup':>9} "
+          f"{'BTB MPKI':>9} {'L1-I MPKI':>10}")
     for design in report.designs:
         row = report[design]
         print(f"{design:<16} {row['ipc']:>17.3f} {row['speedup']:>9.3f} "

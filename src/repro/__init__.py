@@ -4,7 +4,9 @@ Scale-Out Servers" (Kaynak, Grot & Falsafi, MICRO-48, 2015).
 The package is organised as the paper's system is:
 
 * :mod:`repro.isa` — instruction/branch model, 64 B block model, predecoder.
-* :mod:`repro.workloads` — synthetic scale-out server workloads and traces.
+* :mod:`repro.workloads` — synthetic scale-out server workloads, traces and
+  consolidation :class:`Scenario` mixes (heterogeneous per-core assignments
+  with a catalog mirroring :data:`DESIGN_POINTS`).
 * :mod:`repro.caches` — L1-I, shared LLC and predictor virtualization.
 * :mod:`repro.branch` — direction predictors, RAS, indirect cache and the
   BTB designs Confluence is compared against.
@@ -52,12 +54,21 @@ see ``examples/`` for both styles.
 from repro.workloads import (
     WORKLOAD_PROFILES,
     EVALUATION_WORKLOADS,
+    SCENARIOS,
+    BoundScenario,
+    CoreWorkload,
+    Scenario,
+    ScenarioEntry,
     WorkloadProfile,
     build_workload,
     evaluation_profiles,
     generate_trace,
     get_profile,
+    get_scenario,
+    register_scenario,
+    scenario_from_profile,
     synthesize_program,
+    workload_program,
 )
 from repro.registry import (
     BTB_REGISTRY,
@@ -97,18 +108,27 @@ from repro.sweep import (
 )
 from repro.workloads import PackedTrace, Trace, load_packed
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
     "WORKLOAD_PROFILES",
     "EVALUATION_WORKLOADS",
+    "SCENARIOS",
+    "BoundScenario",
+    "CoreWorkload",
+    "Scenario",
+    "ScenarioEntry",
     "WorkloadProfile",
     "build_workload",
     "evaluation_profiles",
     "generate_trace",
     "get_profile",
+    "get_scenario",
+    "register_scenario",
+    "scenario_from_profile",
     "synthesize_program",
+    "workload_program",
     "BTB_REGISTRY",
     "PREFETCHER_REGISTRY",
     "BuildContext",

@@ -30,6 +30,10 @@ Examples::
     python -m repro sweep --profiles oltp_db2 dss_qry2 \\
         --designs baseline confluence --scale 0.1 --cores 4 --expect-cached
 
+    # a heterogeneous consolidation scenario (mixed per-core workloads)
+    python -m repro sweep --scenarios consolidated_oltp_dss \\
+        --designs baseline confluence --scale 0.1 --cores 8
+
     # pack a trace artifact, prove the round trip, inspect it
     python -m repro trace --profile oltp_db2 --scale 0.1 \\
         --instructions 50000 --seed 3 --out /tmp/oltp.trace --verify
@@ -68,6 +72,7 @@ from repro.sweep import (
     run_sweep,
 )
 from repro.workloads.profiles import WORKLOAD_PROFILES
+from repro.workloads.scenario import SCENARIOS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -87,9 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--profiles", nargs="+", metavar="NAME",
-        default=list(WORKLOAD_PROFILES),
+        default=None,
         help="workload profiles to sweep (default: all "
-             f"{len(WORKLOAD_PROFILES)} profiles)",
+             f"{len(WORKLOAD_PROFILES)} profiles, or none when --scenarios "
+             "is given)",
+    )
+    sweep.add_argument(
+        "--scenarios", nargs="+", metavar="NAME", default=[],
+        help="heterogeneous consolidation scenarios to sweep alongside the "
+             f"profiles (catalog: {', '.join(SCENARIOS)})",
     )
     sweep.add_argument(
         "--designs", nargs="+", metavar="NAME",
@@ -203,17 +214,35 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         trace_store = None
     else:
         trace_store = TraceStore(args.trace_dir)
-    outcome = run_sweep(
-        args.profiles,
-        args.designs,
-        scale=args.scale,
-        cores=args.cores,
-        instructions_per_core=args.instructions_per_core,
-        trace_seed_base=args.trace_seed_base,
-        workers=args.workers,
-        cache=cache,
-        trace_store=trace_store,
-    )
+    profiles = args.profiles
+    if profiles is None:
+        # A scenarios-only invocation sweeps just the scenarios; the
+        # all-profiles default only applies when neither axis was named.
+        profiles = [] if args.scenarios else list(WORKLOAD_PROFILES)
+    try:
+        outcome = run_sweep(
+            profiles,
+            args.designs,
+            scale=args.scale,
+            cores=args.cores,
+            instructions_per_core=args.instructions_per_core,
+            trace_seed_base=args.trace_seed_base,
+            workers=args.workers,
+            cache=cache,
+            trace_store=trace_store,
+            scenarios=args.scenarios,
+        )
+    except KeyError as error:
+        # Unknown profile/scenario/design names arrive as KeyErrors with a
+        # "known: ..." listing; usage errors exit 2, like argparse's own.
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # A cache or trace-store directory that cannot be created, read or
+        # written (e.g. $REPRO_TRACE_DIR under a missing or read-only path)
+        # is an environment problem, not a crash.
+        print(f"sweep: {error}", file=sys.stderr)
+        return 1
     reports = reports_from_sweep(outcome, baseline=args.baseline)
 
     if args.as_json:
@@ -319,7 +348,20 @@ def _run_trace_command(args: argparse.Namespace) -> int:
             print(f"trace: {error}", file=sys.stderr)
             return 2
         store = TraceStore(args.trace_dir)
-        removed, freed = store.prune(max_bytes)
+        if not store.directory.is_dir():
+            # Pruning a store that does not exist is a misdirected command
+            # (a typoed --trace-dir or stale $REPRO_TRACE_DIR), not a no-op.
+            print(
+                f"trace: trace store directory {store.directory} does not "
+                "exist (set --trace-dir or $REPRO_TRACE_DIR)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            removed, freed = store.prune(max_bytes)
+        except OSError as error:
+            print(f"trace: cannot prune {store.directory}: {error}", file=sys.stderr)
+            return 1
         print(
             f"pruned {removed} artifact{'s' if removed != 1 else ''} "
             f"({freed} bytes) from {store.directory} "

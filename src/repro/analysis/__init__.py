@@ -14,6 +14,8 @@ from repro.analysis.experiments import (
     frontend_comparison,
     grid_speedup_rows,
     miss_coverage_comparison,
+    scenario_comparison_rows,
+    scenario_grid,
 )
 from repro.analysis.reporting import format_table, format_series
 
@@ -26,6 +28,8 @@ __all__ = [
     "airbtb_ablation",
     "miss_coverage_comparison",
     "airbtb_sensitivity",
+    "scenario_comparison_rows",
+    "scenario_grid",
     "format_table",
     "format_series",
 ]

@@ -368,3 +368,57 @@ def grid_speedup_rows(
         row["geomean"] = geometric_mean(speedups)
         rows.append(row)
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# Consolidation scenarios (heterogeneous multi-program CMPs)
+# --------------------------------------------------------------------------- #
+
+#: The consolidation scenarios the comparison table reports by default.
+SCENARIO_SET: Tuple[str, ...] = ("consolidated_oltp_dss", "noisy_neighbor_media")
+
+
+def scenario_grid(
+    scenarios: Sequence[str] = SCENARIO_SET,
+    designs: Sequence[Union[str, DesignSpec]] = GRID_DESIGNS,
+    baseline: Optional[str] = None,
+    **sweep_kwargs,
+) -> Dict[str, RunReport]:
+    """The consolidated-server grid: scenario x design, on the sweep engine.
+
+    Each scenario is a heterogeneous per-core workload mix (see
+    :mod:`repro.workloads.scenario`); cells cache, fan out and share
+    trace-store artifacts exactly like homogeneous profile cells.  Returns
+    ``{scenario name: RunReport}``.
+    """
+    return run_grid(
+        [], designs, baseline=baseline, scenarios=list(scenarios), **sweep_kwargs
+    )
+
+
+def scenario_comparison_rows(
+    reports: Mapping[str, RunReport],
+) -> List[Dict[str, object]]:
+    """One row per (scenario, design): chip throughput plus the per-profile split.
+
+    The ``ipc[profile]`` columns expose who wins and who pays inside a
+    consolidation — e.g. whether Confluence's shared history lifts the OLTP
+    cores as much as the DSS cores that recorded next to them.
+    """
+    rows: List[Dict[str, object]] = []
+    for scenario_name, report in reports.items():
+        for design in report.designs:
+            summary = report[design]
+            row: Dict[str, object] = {
+                "scenario": scenario_name,
+                "design": design,
+                "ipc": summary["ipc"],
+                "speedup": summary["speedup"],
+                "btb_mpki": summary["btb_mpki"],
+                "l1i_mpki": summary["l1i_mpki"],
+            }
+            breakdown = summary.get("per_profile") or {}
+            for profile_name, group in breakdown.items():
+                row[f"ipc[{profile_name}]"] = group["ipc"]
+            rows.append(row)
+    return rows

@@ -7,7 +7,7 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 
 def format_table(
@@ -38,7 +38,9 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_series(series: Mapping[object, float], title: str = "", value_format: str = "{:.3f}") -> str:
+def format_series(
+    series: Mapping[object, float], title: str = "", value_format: str = "{:.3f}"
+) -> str:
     """Render an x->y mapping (one figure series) as aligned text."""
     lines = [title] if title else []
     key_width = max(len(str(key)) for key in series) if series else 0

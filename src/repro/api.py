@@ -47,6 +47,7 @@ from repro.sweep import (
 )
 from repro.workloads.cfg import SyntheticProgram
 from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.scenario import BoundScenario, Scenario, resolve_scenario
 
 __all__ = ["Session", "RunReport", "run_grid", "reports_from_sweep"]
 
@@ -180,6 +181,13 @@ class Session:
             path, or a :class:`repro.sweep.TraceStore`; ``None`` (default)
             generates traces in-process.  Stored traces are shared by every
             design, run and process touching the same workload parameters.
+        scenario: a heterogeneous consolidation instead of one profile — a
+            catalog name (``"consolidated_oltp_dss"``), a
+            :class:`~repro.workloads.scenario.Scenario` (bound here against
+            ``cores``/``scale``/``instructions_per_core``/
+            ``trace_seed_base``) or a pre-bound assignment.  When given it
+            replaces ``profile``; ``session.profile`` is then ``None`` and
+            the report is keyed by the scenario's name.
     """
 
     def __init__(
@@ -193,17 +201,32 @@ class Session:
         workers: Optional[int] = None,
         cache: Union[None, bool, str, Path, ResultCache] = None,
         trace_store: Union[None, bool, str, Path, TraceStore] = None,
+        scenario: Union[None, str, Scenario, BoundScenario] = None,
     ) -> None:
-        if isinstance(profile, str):
-            profile = get_profile(profile)
-        if scale != 1.0:
-            profile = profile.scaled(scale)
-        self.profile = profile
+        if scenario is not None:
+            if not isinstance(scenario, BoundScenario):
+                scenario = resolve_scenario(scenario).bind(
+                    cores=cores,
+                    scale=scale,
+                    instructions_per_core=instructions_per_core,
+                    trace_seed_base=trace_seed_base,
+                )
+            self.scenario: Optional[BoundScenario] = scenario
+            self.profile: Optional[WorkloadProfile] = None
+            self.cores = scenario.cores
+            self.instructions_per_core = scenario.instructions_per_core
+        else:
+            if isinstance(profile, str):
+                profile = get_profile(profile)
+            if scale != 1.0:
+                profile = profile.scaled(scale)
+            self.scenario = None
+            self.profile = profile
+            self.cores = cores
+            self.instructions_per_core = (
+                instructions_per_core or profile.recommended_trace_instructions
+            )
         self.scale = scale
-        self.cores = cores
-        self.instructions_per_core = (
-            instructions_per_core or profile.recommended_trace_instructions
-        )
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
         self.workers = workers
@@ -213,8 +236,24 @@ class Session:
         self._cmp: Optional[ChipMultiprocessor] = None
 
     @property
+    def workload(self) -> Union[WorkloadProfile, BoundScenario]:
+        """What this session runs: its profile, or its bound scenario."""
+        if self.scenario is not None:
+            return self.scenario
+        return self.profile
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload.name
+
+    @property
     def program(self) -> SyntheticProgram:
         """The synthesized workload program (built once per process)."""
+        if self.scenario is not None:
+            raise ValueError(
+                "a scenario session spans multiple programs; use "
+                "repro.workloads.workload_program(profile) per profile"
+            )
         if self._program is None:
             # The sweep engine's per-process memo, so a Session and the cells
             # it schedules share one synthesized program.
@@ -229,12 +268,20 @@ class Session:
                 # Same memoized driver the session's sweep cells use, so
                 # run() and direct cmp access share one trace set.
                 self._cmp = cmp_driver(
-                    self.profile,
+                    self.workload,
                     self.cores,
                     self.instructions_per_core,
                     self.trace_seed_base,
                     self.frontend_config,
                     trace_store=self.trace_store,
+                )
+            elif self.scenario is not None:
+                self._cmp = ChipMultiprocessor(
+                    scenario=self.scenario,
+                    workers=self.workers,
+                    trace_store=self.trace_store,
+                    frontend_config=self.frontend_config,
+                    trace_seed_base=self.trace_seed_base,
                 )
             else:
                 # A session-level core-parallel default is baked into the
@@ -277,7 +324,7 @@ class Session:
         workers = workers if workers is not None else self.workers
         cells = [
             SweepCell(
-                profile=self.profile,
+                profile=self.workload,
                 spec=spec,
                 cores=self.cores,
                 instructions_per_core=self.instructions_per_core,
@@ -290,7 +337,7 @@ class Session:
             cells, workers=workers, cache=self.cache, trace_store=self.trace_store
         )
         return _assemble_report(
-            profile=self.profile.name,
+            profile=self.workload_name,
             scale=self.scale,
             cores=self.cores,
             instructions_per_core=self.instructions_per_core,
@@ -303,13 +350,17 @@ class Session:
 def reports_from_sweep(
     outcome: SweepOutcome, baseline: Optional[str] = None
 ) -> Dict[str, RunReport]:
-    """Fold a :class:`~repro.sweep.SweepOutcome` into per-profile reports."""
+    """Fold a :class:`~repro.sweep.SweepOutcome` into per-workload reports.
+
+    One report per grid row — workload profiles first, then scenarios, both
+    keyed by name.
+    """
     baseline = _pick_baseline(outcome.designs, baseline)
     cell_by_profile = {}
     for cell in outcome.cells:
         cell_by_profile.setdefault(cell.profile.name, cell)
     reports: Dict[str, RunReport] = {}
-    for profile_name in outcome.profiles:
+    for profile_name in outcome.workloads:
         cell = cell_by_profile[profile_name]
         reports[profile_name] = _assemble_report(
             profile=profile_name,
@@ -334,14 +385,15 @@ def run_grid(
 ) -> Dict[str, RunReport]:
     """Run a workload x design grid through the parallel sweep engine.
 
-    Every (profile, design) cell of the grid — not just the cores inside one
+    Every (workload, design) cell of the grid — not just the cores inside one
     design point — is a unit of work: ``workers=N`` fans cells out across
     processes and ``cache=...`` serves unchanged cells from the on-disk
-    result cache (see :mod:`repro.sweep`).  The remaining keyword arguments
-    (``scale``, ``cores``, ``instructions_per_core``, ``frontend_config``,
-    ``trace_seed_base``) apply to every cell.  Returns
-    ``{profile name: RunReport}``, identical to running one serial
-    :class:`Session` per profile.
+    result cache (see :mod:`repro.sweep`).  ``scenarios=[...]`` adds
+    heterogeneous consolidation rows (``profiles`` may then be empty); the
+    remaining keyword arguments (``scale``, ``cores``,
+    ``instructions_per_core``, ``frontend_config``, ``trace_seed_base``)
+    apply to every cell.  Returns ``{workload name: RunReport}``, identical
+    to running one serial :class:`Session` per workload.
     """
     outcome = run_sweep(profiles, designs, **sweep_kwargs)
     return reports_from_sweep(outcome, baseline=baseline)

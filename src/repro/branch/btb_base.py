@@ -14,7 +14,7 @@ delimit the fetch region) but their misses are not what Figures 1, 8, 9 and
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.isa.instruction import BranchKind

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult, BTBStats
+from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BranchKind
 from repro.registry import BTB_REGISTRY, BuildContext

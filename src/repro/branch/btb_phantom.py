@@ -23,7 +23,7 @@ coverage/timeliness limitation the paper discusses.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.branch.btb_conventional import conventional_entry_bits

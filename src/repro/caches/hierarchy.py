@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.caches.l1i import InstructionCache, L1IConfig
-from repro.caches.llc import LLCConfig, SharedLLC
+from repro.caches.l1i import InstructionCache
+from repro.caches.llc import SharedLLC
 
 
 @dataclass(frozen=True)

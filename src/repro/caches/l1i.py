@@ -11,7 +11,7 @@ that content synchronization is the heart of the design.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol
+from typing import List, Optional, Protocol
 
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BLOCK_SIZE_BYTES, block_address

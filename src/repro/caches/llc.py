@@ -16,7 +16,7 @@ than data contents.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.isa.instruction import BLOCK_SIZE_BYTES

@@ -9,8 +9,8 @@ presence, which is all trace-driven frontend simulation needs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
 
 #: Called with the evicted key and its payload whenever an insertion
 #: displaces an entry.

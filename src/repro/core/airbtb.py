@@ -25,7 +25,7 @@ ablation uses to isolate where AirBTB's coverage advantage comes from:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult

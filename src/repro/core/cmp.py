@@ -1,24 +1,33 @@
-"""Chip multiprocessor driver: many cores, one workload, shared metadata.
+"""Chip multiprocessor driver: many cores, shared metadata, mixed workloads.
 
-The paper evaluates a 16-core tiled CMP in which every core runs the same
-server workload; SHIFT's history (and PhantomBTB's virtual table) are shared
-by all cores and virtualized in the LLC.  This driver reproduces that setup
-for trace-driven simulation:
+The paper evaluates a 16-core tiled CMP whose deployment model is a
+*consolidated* scale-out server: co-located server workloads sharing one
+chip.  This driver reproduces that setup for trace-driven simulation, in
+both its homogeneous form (every core runs the same profile, the paper's
+measurement configuration) and its heterogeneous form (a
+:class:`~repro.workloads.scenario.Scenario` assigns each core its own
+profile, seed and instruction budget):
 
-* one :class:`~repro.workloads.cfg.SyntheticProgram` is shared by all cores,
-* each core gets its own trace (same request mix, different seed), its own
-  L1-I, BTB and branch predictors,
-* the SHIFT history instance is shared; core 0 records it, all cores replay
-  it, exactly as in the paper, and
+* every core gets its own trace, L1-I, BTB and branch predictors,
+* the SHIFT history (and PhantomBTB's virtual table) is virtualized in the
+  shared LLC; one history instance exists **per workload profile on the
+  chip** — the first core running a profile records it, every other core of
+  that profile replays it, exactly the paper's one-history-per-workload
+  sharing (a homogeneous chip therefore has exactly one, recorded by
+  core 0), and
 * cores are simulated one after another (their only interaction is through
   the shared metadata, which is insensitive to fine-grain interleaving).
 
-Because the replaying cores (1..N-1) never write the shared metadata, they
-are independent given core 0's recorded history, and the driver can fan them
-out across worker processes (``workers=N``).  The parallel path reproduces
-the serial path bit for bit: core 0 always runs first in-process, its
-recorded history is snapshotted into each worker, and every core keeps its
-own deterministic trace seed.  The serial default is preserved.
+Because replaying cores never write the shared metadata, they are
+independent given their profile's recorded history, and the driver can fan
+them out across worker processes (``workers=N``).  The parallel path
+reproduces the serial path bit for bit: the recording cores always run
+first in-process, each profile's recorded history is snapshotted into the
+workers, and every core keeps its own deterministic trace seed.  When a
+:class:`~repro.sweep.TraceStore` is attached, workers receive the trace's
+on-disk artifact *path* and mmap it — the same zero-copy discipline as the
+cell-level pool, so no pool boundary ever pickles trace columns.  The
+serial default is preserved.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.caches.llc import LLCConfig, SharedLLC
 from repro.core.area import FrontendAreaReport
@@ -35,19 +44,32 @@ from repro.core.frontend import FrontendConfig, FrontendResult
 from repro.core.metrics import mpki
 from repro.prefetch.shift import ShiftHistory
 from repro.registry import ensure_unique_names
-from repro.workloads.cfg import SyntheticProgram
+from repro.workloads.cfg import SyntheticProgram, workload_program
 from repro.workloads.generator import generate_trace
+from repro.workloads.packed import load_packed
 from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.scenario import BoundScenario, CoreWorkload, Scenario
+from repro.workloads.trace import Trace
 
 
 @dataclass
 class CMPResult:
-    """Aggregate result of one design point on one workload."""
+    """Aggregate result of one design point on one workload or scenario.
+
+    ``workload`` is the profile name for homogeneous runs and the scenario
+    name for mixed ones; ``core_profiles`` names the profile each core ran
+    (the per-core breakdown key), and :meth:`per_profile` rolls the core
+    results up per profile.
+    """
 
     design: str
     workload: str
     core_results: List[FrontendResult] = field(default_factory=list)
     area: Optional[FrontendAreaReport] = None
+    #: The scenario this result came from (``None`` for homogeneous runs).
+    scenario: Optional[str] = None
+    #: Profile name per core, aligned with ``core_results``.
+    core_profiles: List[str] = field(default_factory=list)
 
     @property
     def instructions(self) -> int:
@@ -79,6 +101,35 @@ class CMPResult:
         return mpki(sum(result.l1i_misses for result in self.core_results),
                     self.instructions)
 
+    def per_profile(self) -> Dict[str, Dict[str, float]]:
+        """Roll the per-core results up by profile (the scenario breakdown).
+
+        Returns ``{profile name: {cores, instructions, cycles, ipc,
+        btb_mpki, l1i_mpki}}``.  Homogeneous results produce a single group,
+        so consumers can treat every CMP result uniformly.
+        """
+        names = self.core_profiles or [self.workload] * len(self.core_results)
+        groups: Dict[str, List[FrontendResult]] = {}
+        for name, result in zip(names, self.core_results):
+            groups.setdefault(name, []).append(result)
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for name, results in groups.items():
+            instructions = sum(result.instructions for result in results)
+            cycles = sum(result.cycles for result in results)
+            breakdown[name] = {
+                "cores": len(results),
+                "instructions": instructions,
+                "cycles": cycles,
+                "ipc": instructions / cycles if cycles else 0.0,
+                "btb_mpki": mpki(
+                    sum(result.btb_taken_misses for result in results), instructions
+                ),
+                "l1i_mpki": mpki(
+                    sum(result.l1i_misses for result in results), instructions
+                ),
+            }
+        return breakdown
+
     def speedup_over(self, baseline: "CMPResult") -> float:
         # A zero-IPC operand measured nothing; fail loudly (the mpki /
         # miss_coverage degenerate-denominator policy), never report 0x.
@@ -94,12 +145,18 @@ def _replay_core(job) -> FrontendResult:
     """Simulate one replaying core in a worker process.
 
     The worker rebuilds its private surroundings (LLC with the same geometry,
-    hence the same round-trip latency, plus a replay-side clone of the shared
-    history); the only cross-core coupling in the serial path is the recorded
-    history and LLC statistics, and the statistics do not feed back into
-    timing, so the result is identical to the serial path's.
+    hence the same round-trip latency, plus a replay-side clone of its
+    profile's shared history); the only cross-core coupling in the serial
+    path is the recorded history and LLC statistics, and the statistics do
+    not feed back into timing, so the result is identical to the serial
+    path's.  When the trace lives in a store, the job carries its artifact
+    *path* and the worker mmaps it — all workers share one page-cache copy
+    instead of receiving pickled heap columns.
     """
-    spec, program, trace, history_state, llc_config, frontend_config = job
+    (spec, program, trace, trace_path, trace_name,
+     history_state, llc_config, frontend_config) = job
+    if trace is None:
+        trace = Trace.from_packed(load_packed(trace_path, mmap=True), name=trace_name)
     llc = SharedLLC(llc_config)
     shared_history = ShiftHistory.restore(history_state, llc=llc)
     simulator, _ = design_from_spec(
@@ -122,33 +179,87 @@ def _fork_context():
 
 
 class ChipMultiprocessor:
-    """Simulates ``cores`` instances of a workload under one design point."""
+    """Simulates ``cores`` instances of one workload — or a scenario's mix.
+
+    Homogeneous form (the paper's measurement setup)::
+
+        ChipMultiprocessor(program, cores=16)
+
+    Heterogeneous form (a consolidated server)::
+
+        ChipMultiprocessor(scenario=get_scenario("consolidated_oltp_dss"))
+
+    ``scenario`` accepts a :class:`~repro.workloads.scenario.Scenario`
+    (bound here against ``cores``/``instructions_per_core``/
+    ``trace_seed_base``) or an already-bound
+    :class:`~repro.workloads.scenario.BoundScenario` (whose assignment wins
+    over those knobs).  A single-profile scenario is the degenerate case and
+    reproduces the homogeneous form bit for bit.
+    """
 
     def __init__(
         self,
-        program: SyntheticProgram,
+        program: Optional[SyntheticProgram] = None,
         cores: int = 16,
         instructions_per_core: Optional[int] = None,
         frontend_config: Optional[FrontendConfig] = None,
         trace_seed_base: int = 100,
         workers: Optional[int] = None,
         trace_store=None,
+        scenario: Union[None, Scenario, BoundScenario] = None,
     ) -> None:
-        if cores <= 0:
-            raise ValueError("a CMP needs at least one core")
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive when given")
-        self.program = program
-        self.profile: WorkloadProfile = program.profile
-        self.cores = cores
-        self.instructions_per_core = (
-            instructions_per_core or self.profile.recommended_trace_instructions
-        )
+        if scenario is not None:
+            if program is not None:
+                raise ValueError(
+                    "pass either a program (homogeneous CMP) or a scenario "
+                    "(heterogeneous CMP), not both"
+                )
+            if isinstance(scenario, Scenario):
+                scenario = scenario.bind(
+                    cores=cores,
+                    instructions_per_core=instructions_per_core,
+                    trace_seed_base=trace_seed_base,
+                )
+            if not isinstance(scenario, BoundScenario):
+                raise TypeError(f"not a scenario: {scenario!r}")
+            self.scenario: Optional[BoundScenario] = scenario
+            self.program = None
+            self.profile: Optional[WorkloadProfile] = None
+            self.workload_name = scenario.name
+            self.workloads: Tuple[CoreWorkload, ...] = scenario.assignments
+            self.cores = len(self.workloads)
+            self.instructions_per_core = scenario.instructions_per_core
+            self._programs: Dict[WorkloadProfile, SyntheticProgram] = {}
+        else:
+            if program is None:
+                raise ValueError("a CMP needs a program or a scenario")
+            if cores <= 0:
+                raise ValueError("a CMP needs at least one core")
+            self.scenario = None
+            self.program = program
+            self.profile = program.profile
+            self.workload_name = self.profile.name
+            self.cores = cores
+            self.instructions_per_core = (
+                instructions_per_core or self.profile.recommended_trace_instructions
+            )
+            self.workloads = tuple(
+                CoreWorkload(
+                    profile=self.profile,
+                    seed=trace_seed_base + core,
+                    instructions=self.instructions_per_core,
+                )
+                for core in range(cores)
+            )
+            self._programs = {self.profile: program}
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
         self.workers = workers
         #: Optional :class:`repro.sweep.TraceStore`: per-core traces become
-        #: shared on-disk artifacts, loaded instead of re-generated.
+        #: shared on-disk artifacts, loaded instead of re-generated — and the
+        #: core-level fan-out ships their *paths* to workers (zero-copy).
         self.trace_store = trace_store
         #: How this driver's traces were obtained (observability; the sweep
         #: engine folds these into :class:`repro.sweep.SweepStats`).
@@ -157,36 +268,54 @@ class ChipMultiprocessor:
         self.traces_generated = 0
         self.traces_loaded = 0
         self.traces_mapped = 0
-        self._traces = None
+        self._traces: Optional[List[Trace]] = None
+        self._trace_paths: Optional[List[Optional[str]]] = None
 
-    def _core_traces(self):
+    def _program_for(self, profile: WorkloadProfile) -> SyntheticProgram:
+        program = self._programs.get(profile)
+        if program is None:
+            program = workload_program(profile)
+            self._programs[profile] = program
+        return program
+
+    def _core_traces(self) -> List[Trace]:
         if self._traces is None:
             store = self.trace_store
-            traces = []
-            for core in range(self.cores):
-                seed = self.trace_seed_base + core
-                name = f"{self.profile.name}/core{core}"
+            traces: List[Trace] = []
+            paths: List[Optional[str]] = []
+            for core, workload in enumerate(self.workloads):
+                name = f"{workload.profile.name}/core{core}"
                 trace = None
+                path: Optional[str] = None
                 if store is not None:
                     trace = store.load(
-                        self.profile, self.instructions_per_core, seed, name=name
+                        workload.profile, workload.instructions, workload.seed,
+                        name=name,
                     )
                 if trace is not None:
                     self.traces_loaded += 1
                     if trace.packed.mapped:
                         self.traces_mapped += 1
+                    path = str(store.path_for(
+                        workload.profile, workload.instructions, workload.seed
+                    ))
                 else:
                     trace = generate_trace(
-                        self.program,
-                        self.instructions_per_core,
-                        seed=seed,
+                        self._program_for(workload.profile),
+                        workload.instructions,
+                        seed=workload.seed,
                         name=name,
                     )
                     self.traces_generated += 1
                     if store is not None:
-                        store.put(self.profile, self.instructions_per_core, seed, trace)
+                        path = str(store.put(
+                            workload.profile, workload.instructions,
+                            workload.seed, trace,
+                        ))
                 traces.append(trace)
+                paths.append(path)
             self._traces = traces
+            self._trace_paths = paths
         return self._traces
 
     def _llc_config(self) -> LLCConfig:
@@ -200,8 +329,10 @@ class ChipMultiprocessor:
         design: Union[str, DesignSpec],
         workers: Optional[int] = None,
     ) -> CMPResult:
-        """Run every core under ``design`` with shared SHIFT history.
+        """Run every core under ``design`` with per-profile shared histories.
 
+        The first core running each profile records that profile's SHIFT
+        history in-process; every other core of the profile replays it.
         ``workers`` (or the constructor's default) > 1 fans the replaying
         cores out across processes; the default stays serial and the results
         are identical either way.
@@ -209,57 +340,88 @@ class ChipMultiprocessor:
         spec = resolve_design(design)
         workers = workers if workers is not None else self.workers
         llc = SharedLLC(self._llc_config())
-        shared_history = ShiftHistory(llc=llc)
         traces = self._core_traces()
-        result = CMPResult(design=spec.name, workload=self.profile.name)
-
-        # Core 0 always runs first, in-process: it records the shared history
-        # the other cores replay.
-        simulator, area = design_from_spec(
-            spec,
-            self.program,
-            llc=llc,
-            shared_history=shared_history,
-            frontend_config=self.frontend_config,
-            record_history=True,
+        paths = self._trace_paths or [None] * len(traces)
+        result = CMPResult(
+            design=spec.name,
+            workload=self.workload_name,
+            scenario=self.scenario.name if self.scenario is not None else None,
+            core_profiles=[workload.profile.name for workload in self.workloads],
         )
-        result.core_results.append(simulator.run(traces[0]))
-        result.area = area
 
-        replay_traces = traces[1:]
-        if not replay_traces:
-            return result
-        if workers is not None and workers > 1:
-            # The history is immutable once core 0 finishes; one snapshot
-            # serves every replaying core.
-            history_state = shared_history.snapshot()
-            jobs = [
-                (
+        # One shared history per profile on the chip, each virtualized in its
+        # own LLC region.  The first core of each profile records; it always
+        # runs first, in-process, like core 0 always has.
+        histories: Dict[WorkloadProfile, ShiftHistory] = {}
+        recorders: List[int] = []
+        replayers: List[int] = []
+        for index, workload in enumerate(self.workloads):
+            if workload.profile not in histories:
+                histories[workload.profile] = ShiftHistory(
+                    llc=llc,
+                    region_name=f"shift_history:{workload.profile.name}",
+                )
+                recorders.append(index)
+            else:
+                replayers.append(index)
+
+        core_results: List[Optional[FrontendResult]] = [None] * self.cores
+        for index in recorders:
+            workload = self.workloads[index]
+            simulator, area = design_from_spec(
+                spec,
+                self._program_for(workload.profile),
+                llc=llc,
+                shared_history=histories[workload.profile],
+                frontend_config=self.frontend_config,
+                record_history=True,
+            )
+            if result.area is None:
+                result.area = area
+            core_results[index] = simulator.run(traces[index])
+
+        if replayers and workers is not None and workers > 1:
+            # Each profile's history is immutable once its recorder finishes;
+            # one snapshot per profile serves every replaying core.  Traces
+            # backed by a store artifact travel as paths, not pickled columns.
+            snapshots: Dict[WorkloadProfile, dict] = {}
+            jobs = []
+            for index in replayers:
+                workload = self.workloads[index]
+                if workload.profile not in snapshots:
+                    snapshots[workload.profile] = histories[workload.profile].snapshot()
+                trace = traces[index]
+                path = paths[index]
+                jobs.append((
                     spec,
-                    self.program,
-                    trace,
-                    history_state,
+                    self._program_for(workload.profile),
+                    None if path is not None else trace,
+                    path,
+                    trace.name,
+                    snapshots[workload.profile],
                     self._llc_config(),
                     self.frontend_config,
-                )
-                for trace in replay_traces
-            ]
+                ))
             pool_size = min(workers, len(jobs))
             with ProcessPoolExecutor(
                 max_workers=pool_size, mp_context=_fork_context()
             ) as pool:
-                result.core_results.extend(pool.map(_replay_core, jobs))
+                for index, core_result in zip(replayers, pool.map(_replay_core, jobs)):
+                    core_results[index] = core_result
         else:
-            for trace in replay_traces:
+            for index in replayers:
+                workload = self.workloads[index]
                 simulator, _ = design_from_spec(
                     spec,
-                    self.program,
+                    self._program_for(workload.profile),
                     llc=llc,
-                    shared_history=shared_history,
+                    shared_history=histories[workload.profile],
                     frontend_config=self.frontend_config,
                     record_history=False,
                 )
-                result.core_results.append(simulator.run(trace))
+                core_results[index] = simulator.run(traces[index])
+
+        result.core_results.extend(core_results)  # type: ignore[arg-type]
         return result
 
     def run_designs(

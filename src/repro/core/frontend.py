@@ -22,8 +22,8 @@ come from the frontend terms, which is what this model reproduces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.branch.unit import BranchPredictionUnit, PredictionSlot
 from repro.caches.l1i import InstructionCache

@@ -6,7 +6,7 @@ MPKI, miss coverage and speedups the same way the paper does.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Iterable, Mapping
 
 
 def mpki(misses: int, instructions: int) -> float:

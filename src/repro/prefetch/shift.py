@@ -72,10 +72,17 @@ class ShiftHistory:
     designated core records its block access stream, all cores read it.
     """
 
-    def __init__(self, config: Optional[ShiftConfig] = None, llc: Optional[SharedLLC] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ShiftConfig] = None,
+        llc: Optional[SharedLLC] = None,
+        region_name: str = "shift_history",
+    ) -> None:
         self.config = config or ShiftConfig()
         self.llc = llc
-        self._region_name = "shift_history"
+        # Heterogeneous CMPs virtualize one history per workload in the same
+        # LLC; distinct region names keep their capacity accounting separate.
+        self._region_name = region_name
         if llc is not None:
             blocks = int(self.config.history_storage_kb * 1024 / BLOCK_SIZE_BYTES) + 1
             llc.reserve_region(self._region_name, blocks)

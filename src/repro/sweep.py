@@ -58,9 +58,10 @@ from repro.registry import (
     PREFETCHER_REGISTRY,
     ensure_unique_names,
 )
-from repro.workloads.cfg import SyntheticProgram, synthesize_program
+from repro.workloads.cfg import clear_program_memo, workload_program
 from repro.workloads.packed import PACKED_TRACE_FORMAT_VERSION, load_packed
 from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.scenario import BoundScenario, Scenario, resolve_scenario
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -86,7 +87,8 @@ __all__ = [
 
 #: Bumped whenever the simulator or the summary layout changes meaning:
 #: entries written under another schema are ignored, never misread.
-CACHE_SCHEMA_VERSION = 1
+#: (2: scenario cells — summaries carry scenario/core_profiles/per_profile.)
+CACHE_SCHEMA_VERSION = 2
 
 #: Joins the trace-store key: bumped whenever trace *generation* changes
 #: meaning (the walker's algorithm or the packed column semantics), so stale
@@ -153,15 +155,16 @@ def _factory_fingerprint(registry, name: str) -> str:
 def cell_key(cell: "SweepCell") -> str:
     """Stable content hash of everything that determines a cell's result.
 
-    Covers the full workload profile, the design spec (component names and
+    Covers the full workload closure — either the workload profile with the
+    core count, per-core trace seeds and trace length, or a bound scenario's
+    complete per-core assignment (every core's full profile parameters, seed
+    and instruction budget) — plus the design spec (component names and
     every parameter override), the source fingerprints of the registered
-    component factories the spec names, the frontend timing config, the core
-    count, the per-core trace seeds and the trace length — the closure of
-    inputs the simulation is a pure function of.
+    component factories the spec names and the frontend timing config: the
+    closure of inputs the simulation is a pure function of.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
-        "profile": _jsonable(cell.profile),
         "design": _jsonable(cell.spec.to_dict()),
         "btb_factory": _factory_fingerprint(BTB_REGISTRY, cell.spec.btb),
         "prefetcher_factory": _factory_fingerprint(
@@ -169,9 +172,17 @@ def cell_key(cell: "SweepCell") -> str:
         ),
         "frontend_config": _jsonable(cell.frontend_config),
         "cores": cell.cores,
-        "instructions_per_core": cell.instructions_per_core,
-        "trace_seeds": [cell.trace_seed_base + core for core in range(cell.cores)],
     }
+    if isinstance(cell.profile, BoundScenario):
+        # The bound assignment is the scenario's full parameter closure:
+        # every core's profile, seed and budget are in it verbatim.
+        payload["scenario"] = _jsonable(cell.profile)
+    else:
+        payload["profile"] = _jsonable(cell.profile)
+        payload["instructions_per_core"] = cell.instructions_per_core
+        payload["trace_seeds"] = [
+            cell.trace_seed_base + core for core in range(cell.cores)
+        ]
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -330,6 +341,15 @@ class TraceStore:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.trace"
 
+    def path_for(self, profile: WorkloadProfile, instructions: int, seed: int) -> Path:
+        """The artifact path for (profile, instructions, seed).
+
+        Purely computed — the artifact may or may not exist yet.  The CMP
+        driver ships these paths (never trace objects) across its core-level
+        pool boundary so workers mmap the shared page-cache copy.
+        """
+        return self._path(trace_key(profile, instructions, seed))
+
     def load(
         self,
         profile: WorkloadProfile,
@@ -432,9 +452,17 @@ class TraceStore:
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (profile x design) grid cell with its full parameter closure."""
+    """One (workload x design) grid cell with its full parameter closure.
 
-    profile: WorkloadProfile
+    ``profile`` is either a homogeneous :class:`WorkloadProfile` or a
+    :class:`~repro.workloads.scenario.BoundScenario` (a heterogeneous
+    per-core assignment); both are frozen, hashable and carry a ``name``.
+    For scenario cells ``cores`` is the assignment's length,
+    ``instructions_per_core`` its widest core's budget (the per-core truth
+    lives in the assignment itself, which is what :func:`cell_key` hashes).
+    """
+
+    profile: Union[WorkloadProfile, BoundScenario]
     spec: DesignSpec
     cores: int
     instructions_per_core: int
@@ -471,7 +499,12 @@ class SweepStats:
 
 @dataclass
 class SweepOutcome:
-    """Result of :func:`run_sweep`: per-cell summaries plus satisfaction stats."""
+    """Result of :func:`run_sweep`: per-cell summaries plus satisfaction stats.
+
+    ``summaries`` is keyed by (workload name, design name), where a workload
+    is a profile or a scenario; ``profiles`` and ``scenarios`` list the two
+    kinds separately, ``workloads`` joins them in grid order.
+    """
 
     profiles: List[str]
     designs: List[str]
@@ -479,6 +512,12 @@ class SweepOutcome:
     cells: List[SweepCell]
     summaries: Dict[Tuple[str, str], Dict[str, object]]
     stats: SweepStats = field(default_factory=SweepStats)
+    scenarios: List[str] = field(default_factory=list)
+
+    @property
+    def workloads(self) -> List[str]:
+        """Every grid row: the profiles, then the scenarios."""
+        return list(self.profiles) + list(self.scenarios)
 
     def summary(self, profile: str, design: str) -> Dict[str, object]:
         return self.summaries[(profile, design)]
@@ -488,37 +527,25 @@ class SweepOutcome:
 # Cell execution (runs in the parent or in pool workers)
 # --------------------------------------------------------------------------- #
 
-#: Per-process memo of synthesized programs: cells of the same profile reuse
-#: one program whether they run in the parent or share a worker process.
-#: Programs are comparatively small (their size is bounded by the profile's
-#: static layout), so this memo is unbounded.
-_PROGRAM_MEMO: Dict[WorkloadProfile, SyntheticProgram] = {}
-
 #: Per-process memo of CMP drivers (which cache their per-core traces), keyed
-#: by everything that shapes the traces; designs of the same profile reuse it.
-#: Traces are the heavy part (cores x instructions_per_core fetch records per
-#: entry), so this memo is a small LRU rather than unbounded.
+#: by everything that shapes the traces; designs of the same workload reuse
+#: it.  (The synthesized-program memo lives with the generator, in
+#: :func:`repro.workloads.cfg.workload_program`, so heterogeneous CMP cores
+#: share it too.)  Traces are the heavy part (cores x instructions_per_core
+#: fetch records per entry), so this memo is a small LRU rather than
+#: unbounded.
 _CMP_MEMO: "OrderedDict[tuple, ChipMultiprocessor]" = OrderedDict()
 _CMP_MEMO_MAX_ENTRIES = 4
 
 
-def workload_program(profile: WorkloadProfile) -> SyntheticProgram:
-    """Synthesize (or reuse) the program for ``profile`` in this process."""
-    program = _PROGRAM_MEMO.get(profile)
-    if program is None:
-        program = synthesize_program(profile)
-        _PROGRAM_MEMO[profile] = program
-    return program
-
-
 def clear_workload_memo() -> None:
     """Drop the per-process program/trace memos (frees their memory)."""
-    _PROGRAM_MEMO.clear()
+    clear_program_memo()
     _CMP_MEMO.clear()
 
 
 def cmp_driver(
-    profile: WorkloadProfile,
+    profile: Union[WorkloadProfile, BoundScenario],
     cores: int,
     instructions_per_core: int,
     trace_seed_base: int = 100,
@@ -528,7 +555,9 @@ def cmp_driver(
     """The per-process memoized CMP driver for one workload configuration.
 
     Shared by sweep cells and :class:`repro.api.Session`, so a session and
-    the cells it schedules reuse one driver (and its cached traces).  A
+    the cells it schedules reuse one driver (and its cached traces).
+    ``profile`` may be a :class:`~repro.workloads.scenario.BoundScenario`,
+    in which case the driver runs its heterogeneous per-core assignment.  A
     ``trace_store`` attaches to the memoized driver: traces it has not yet
     materialized are loaded from (or saved to) the store.
     """
@@ -536,14 +565,21 @@ def cmp_driver(
                 frontend_config)
     cmp_model = _CMP_MEMO.get(memo_key)
     if cmp_model is None:
-        cmp_model = ChipMultiprocessor(
-            workload_program(profile),
-            cores=cores,
-            instructions_per_core=instructions_per_core,
-            frontend_config=frontend_config,
-            trace_seed_base=trace_seed_base,
-            trace_store=trace_store,
-        )
+        if isinstance(profile, BoundScenario):
+            cmp_model = ChipMultiprocessor(
+                frontend_config=frontend_config,
+                trace_store=trace_store,
+                scenario=profile,
+            )
+        else:
+            cmp_model = ChipMultiprocessor(
+                workload_program(profile),
+                cores=cores,
+                instructions_per_core=instructions_per_core,
+                frontend_config=frontend_config,
+                trace_seed_base=trace_seed_base,
+                trace_store=trace_store,
+            )
         _CMP_MEMO[memo_key] = cmp_model
         while len(_CMP_MEMO) > _CMP_MEMO_MAX_ENTRIES:
             _CMP_MEMO.popitem(last=False)
@@ -553,6 +589,18 @@ def cmp_driver(
         # traces the driver has not yet materialized, and passing None
         # detaches a previously attached one (the documented "generate
         # in-process" default must not silently keep using an old store).
+        # Artifact paths recorded under a *different* store directory (or
+        # under a now-detached store) must not survive the swap: the
+        # core-level fan-out would ship workers paths into the wrong
+        # directory.  Dropping them falls back to shipping the heap traces
+        # the driver already holds.
+        old_dir = (
+            cmp_model.trace_store.directory
+            if cmp_model.trace_store is not None else None
+        )
+        new_dir = trace_store.directory if trace_store is not None else None
+        if old_dir != new_dir:
+            cmp_model._trace_paths = None
         cmp_model.trace_store = trace_store
     return cmp_model
 
@@ -582,6 +630,7 @@ def summarize_result(
         "design": result.design,
         "label": spec.label,
         "workload": result.workload,
+        "scenario": result.scenario,
         "cores": cores,
         "instructions": result.instructions,
         "cycles": result.cycles,
@@ -589,6 +638,8 @@ def summarize_result(
         "btb_mpki": result.btb_mpki,
         "l1i_mpki": result.l1i_mpki,
         "core_ipc": [core.ipc for core in result.core_results],
+        "core_profiles": list(result.core_profiles),
+        "per_profile": result.per_profile(),
     }
     if result.area is not None:
         summary["area_mm2"] = result.area.total_mm2
@@ -738,15 +789,21 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Union[None, bool, str, Path, ResultCache] = None,
     trace_store: Union[None, bool, str, Path, TraceStore] = None,
+    scenarios: Optional[Iterable[Union[str, Scenario, BoundScenario]]] = None,
 ) -> SweepOutcome:
-    """Run the full (profile x design) grid through the cell scheduler.
+    """Run the full (workload x design) grid through the cell scheduler.
 
     ``profiles`` and ``designs`` may mix names and instances; ``scale``
     shrinks every profile (as :class:`repro.api.Session` does).  When
     ``instructions_per_core`` is omitted each profile uses its own
-    recommended trace length.  ``trace_store`` shares per-core traces as
-    on-disk artifacts across designs, runs and processes (see
-    :class:`TraceStore`).
+    recommended trace length.  ``scenarios`` adds heterogeneous rows to the
+    grid — catalog names, :class:`~repro.workloads.scenario.Scenario` specs
+    (bound here against ``cores``/``scale``/``instructions_per_core``/
+    ``trace_seed_base``) or pre-bound assignments; ``profiles`` may be empty
+    when scenarios are given.  ``trace_store`` shares per-core traces as
+    on-disk artifacts across designs, runs, processes *and scenarios*: any
+    two grid rows assigning the same (profile, seed, length) to a core share
+    one artifact (see :class:`TraceStore`).
     """
     resolved_profiles: List[WorkloadProfile] = []
     for profile in profiles:
@@ -755,17 +812,38 @@ def run_sweep(
         if scale != 1.0:
             profile = profile.scaled(scale)
         resolved_profiles.append(profile)
-    if not resolved_profiles:
-        raise ValueError("no profiles given")
+    bound_scenarios: List[BoundScenario] = []
+    for scenario in scenarios or ():
+        if not isinstance(scenario, BoundScenario):
+            scenario = resolve_scenario(scenario).bind(
+                cores=cores,
+                scale=scale,
+                instructions_per_core=instructions_per_core,
+                trace_seed_base=trace_seed_base,
+            )
+        bound_scenarios.append(scenario)
+    if not resolved_profiles and not bound_scenarios:
+        raise ValueError("no profiles or scenarios given")
     specs = [resolve_design(design) for design in designs]
     if not specs:
         raise ValueError("no designs given")
     profile_names = [profile.name for profile in resolved_profiles]
+    scenario_names = [scenario.name for scenario in bound_scenarios]
     design_names = [spec.name for spec in specs]
     ensure_unique_names(
         "profile", profile_names,
         hint="dataclasses.replace(profile, name=...) renames a profile",
     )
+    ensure_unique_names(
+        "scenario", scenario_names,
+        hint="dataclasses.replace(scenario, name=...) renames a scenario",
+    )
+    overlap = sorted(set(profile_names) & set(scenario_names))
+    if overlap:
+        # Profiles and scenarios share the summaries keyspace.
+        raise ValueError(
+            f"scenario name(s) collide with profile name(s): {', '.join(overlap)}"
+        )
     ensure_unique_names("design", design_names)
 
     cells = [
@@ -782,6 +860,18 @@ def run_sweep(
         for profile in resolved_profiles
         for spec in specs
     ]
+    cells.extend(
+        SweepCell(
+            profile=scenario,
+            spec=spec,
+            cores=scenario.cores,
+            instructions_per_core=scenario.instructions_per_core,
+            trace_seed_base=trace_seed_base,
+            frontend_config=frontend_config,
+        )
+        for scenario in bound_scenarios
+        for spec in specs
+    )
     summaries, stats = run_cells(
         cells, workers=workers, cache=cache, trace_store=trace_store
     )
@@ -796,4 +886,5 @@ def run_sweep(
         cells=cells,
         summaries=mapping,
         stats=stats,
+        scenarios=scenario_names,
     )

@@ -31,7 +31,20 @@ from repro.workloads.cfg import (
     ControlFlowGraph,
     Function,
     SyntheticProgram,
+    clear_program_memo,
     synthesize_program,
+    workload_program,
+)
+from repro.workloads.scenario import (
+    SCENARIOS,
+    BoundScenario,
+    CoreWorkload,
+    Scenario,
+    ScenarioEntry,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_from_profile,
 )
 from repro.workloads.packed import PackedTrace, PackedTraceBuilder, load_packed
 from repro.workloads.trace import FetchRecord, RecordView, Trace, TraceStatistics
@@ -46,8 +59,19 @@ __all__ = [
     "WorkloadProfile",
     "WORKLOAD_PROFILES",
     "EVALUATION_WORKLOADS",
+    "SCENARIOS",
+    "BoundScenario",
+    "CoreWorkload",
+    "Scenario",
+    "ScenarioEntry",
     "evaluation_profiles",
     "get_profile",
+    "get_scenario",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_from_profile",
+    "clear_program_memo",
+    "workload_program",
     "BasicBlock",
     "Function",
     "ControlFlowGraph",

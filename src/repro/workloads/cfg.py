@@ -182,12 +182,35 @@ def synthesize_program(profile: WorkloadProfile) -> SyntheticProgram:
     return SyntheticProgram(profile=profile, cfg=cfg, image=image, entry_points=entries)
 
 
+#: Per-process memo of synthesized programs: every consumer of a profile —
+#: sweep cells, sessions, heterogeneous CMP cores — reuses one program
+#: whether it runs in the parent or shares a worker process.  Programs are
+#: comparatively small (their size is bounded by the profile's static
+#: layout), so this memo is unbounded.
+_PROGRAM_MEMO: Dict[WorkloadProfile, SyntheticProgram] = {}
+
+
+def workload_program(profile: WorkloadProfile) -> SyntheticProgram:
+    """Synthesize (or reuse) the program for ``profile`` in this process."""
+    program = _PROGRAM_MEMO.get(profile)
+    if program is None:
+        program = synthesize_program(profile)
+        _PROGRAM_MEMO[profile] = program
+    return program
+
+
+def clear_program_memo() -> None:
+    """Drop the per-process program memo (frees its memory)."""
+    _PROGRAM_MEMO.clear()
+
+
 def _plan_functions(profile: WorkloadProfile, rng: random.Random) -> List[_FunctionPlan]:
     plans: List[_FunctionPlan] = []
     address = profile.code_base_address
     for layer in range(profile.layers):
         for index in range(profile.functions_per_layer):
-            count = max(2, int(round(rng.gauss(profile.mean_basic_blocks, profile.mean_basic_blocks * 0.35))))
+            mean_blocks = profile.mean_basic_blocks
+            count = max(2, int(round(rng.gauss(mean_blocks, mean_blocks * 0.35))))
             lengths = [
                 _clamp(int(round(rng.gauss(profile.mean_block_length, 1.6))),
                        _MIN_BLOCK_LENGTH, _MAX_BLOCK_LENGTH)
@@ -373,7 +396,9 @@ def _build_terminator(
         )
 
     if kind is BranchKind.INDIRECT:
-        candidates = _forward_targets(block_starts, block_index, profile.cross_layer_fanout + 1, rng)
+        candidates = _forward_targets(
+            block_starts, block_index, profile.cross_layer_fanout + 1, rng
+        )
         return BranchBehavior(
             pc=terminator_pc,
             kind=kind,

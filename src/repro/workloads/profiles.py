@@ -15,8 +15,8 @@ preserved, which is what every evaluated mechanism responds to.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
 from repro.__main__ import main
 from repro.workloads import load_packed
 
@@ -75,6 +73,23 @@ class TestTracePrune:
         code = main(["trace", "--prune", "lots"])
         assert code == 2
         assert "not a byte size" in capsys.readouterr().err
+
+    def test_prune_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        # A typoed --trace-dir must be an error with a message, not a silent
+        # "pruned 0 artifacts" success (and never a bare traceback).
+        missing = tmp_path / "never-created"
+        code = main(["trace", "--prune", "0", "--trace-dir", str(missing)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "does not exist" in err and str(missing) in err
+
+    def test_prune_missing_env_directory_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "stale"))
+        code = main(["trace", "--prune", "1G"])
+        assert code == 1
+        assert "REPRO_TRACE_DIR" in capsys.readouterr().err
 
     def test_prune_cannot_combine_with_out(self, tmp_path, capsys):
         code = main([
@@ -174,3 +189,75 @@ class TestSweepCommand:
         ])
         assert code == 1
         assert "--expect-trace-cached" in capsys.readouterr().err
+
+    def test_unusable_trace_dir_exits_nonzero_with_message(self, tmp_path, capsys):
+        # $REPRO_TRACE_DIR (or --trace-dir) pointing somewhere that cannot be
+        # created — here, under a regular file — must produce a clean error,
+        # not a bare NotADirectoryError traceback from deep in the store.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        from repro.sweep import clear_workload_memo
+
+        clear_workload_memo()
+        code = main([
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "1", "--instructions-per-core",
+            "5000", "--no-cache", "--trace-dir", str(blocker / "traces"),
+        ])
+        assert code == 1
+        assert "sweep:" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_with_usage_error(self, capsys):
+        code = main([
+            "sweep", "--scenarios", "no_such_mix", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "2", "--no-cache",
+            "--no-trace-store",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "consolidated_oltp_dss" in err
+
+
+class TestSweepScenarios:
+    ARGS = [
+        "sweep", "--scenarios", "consolidated_oltp_dss", "--designs",
+        "baseline", "--scale", "0.08", "--cores", "4",
+        "--instructions-per-core", "5000", "--json",
+    ]
+
+    def test_scenario_sweep_round_trip(self, tmp_path, capsys):
+        from repro.sweep import clear_workload_memo
+
+        args = self.ARGS + [
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace-dir", str(tmp_path / "traces"),
+        ]
+        clear_workload_memo()
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        report = cold["reports"]["consolidated_oltp_dss"]
+        assert report["results"]["baseline"]["core_profiles"] == [
+            "oltp_db2", "oltp_db2", "dss_qry2", "dss_qry2",
+        ]
+        assert cold["stats"]["simulated"] == 1
+        assert cold["stats"]["traces_generated"] == 4
+
+        # Warm rerun: the scenario cell memoizes and the store serves every
+        # trace — the CI scenario-cache job's contract.
+        clear_workload_memo()
+        assert main(args + ["--expect-cached", "--expect-trace-cached"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["stats"]["simulated"] == 0
+        assert warm["stats"]["traces_generated"] == 0
+        assert warm["reports"] == cold["reports"]
+
+    def test_scenarios_only_sweep_skips_the_profile_default(self, tmp_path, capsys):
+        # With --scenarios and no --profiles the sweep must not silently run
+        # all eight profiles too.
+        from repro.sweep import clear_workload_memo
+
+        clear_workload_memo()
+        args = self.ARGS + ["--no-cache", "--trace-dir", str(tmp_path / "traces")]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload["reports"]) == ["consolidated_oltp_dss"]

@@ -15,7 +15,7 @@ from repro.core import (
     FrontendSimulator,
     build_design,
 )
-from repro.core.area import AreaModel, CORE_AREA_MM2, sram_area_mm2
+from repro.core.area import AreaModel, sram_area_mm2
 from repro.core.metrics import (
     fraction_of_ideal,
     geometric_mean,
@@ -27,8 +27,6 @@ from repro.core.metrics import (
 from repro.isa.block import InstructionBlock
 from repro.isa.instruction import BranchKind, Instruction
 from repro.isa.predecode import Predecoder
-from repro.prefetch import NullPrefetcher
-from repro.workloads import generate_trace
 from repro.workloads.trace import FetchRecord, Trace
 
 
@@ -190,7 +188,9 @@ class TestFrontendSimulator:
     def test_mpki_properties(self, tiny_program, tiny_trace):
         simulator, _ = build_design("baseline", tiny_program)
         result = simulator.run(tiny_trace)
-        assert result.btb_mpki == pytest.approx(1000 * result.btb_taken_misses / result.instructions)
+        assert result.btb_mpki == pytest.approx(
+            1000 * result.btb_taken_misses / result.instructions
+        )
         assert result.l1i_mpki == pytest.approx(1000 * result.l1i_misses / result.instructions)
 
     def test_prefetcher_reduces_l1i_stalls(self, small_program, small_trace):

@@ -16,7 +16,6 @@ import pytest
 
 from repro.core.designs import design_from_spec, resolve_design
 from repro.sweep import TraceStore
-from repro.workloads import generate_trace
 
 #: Designs chosen to exercise disjoint machinery: baseline (BTB+L1-I only),
 #: confluence (AirBTB + SHIFT-fed stream engine + predecode penalty), fdp

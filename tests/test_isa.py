@@ -37,11 +37,15 @@ class TestAddressHelpers:
 
 
 class TestBranchKind:
-    @pytest.mark.parametrize("kind", [BranchKind.CONDITIONAL, BranchKind.UNCONDITIONAL, BranchKind.CALL])
+    @pytest.mark.parametrize(
+        "kind", [BranchKind.CONDITIONAL, BranchKind.UNCONDITIONAL, BranchKind.CALL]
+    )
     def test_direct_kinds(self, kind):
         assert kind.is_direct
 
-    @pytest.mark.parametrize("kind", [BranchKind.INDIRECT, BranchKind.INDIRECT_CALL, BranchKind.RETURN])
+    @pytest.mark.parametrize(
+        "kind", [BranchKind.INDIRECT, BranchKind.INDIRECT_CALL, BranchKind.RETURN]
+    )
     def test_indirect_kinds(self, kind):
         assert kind.is_indirect
         assert not kind.is_direct

@@ -14,7 +14,7 @@ from repro.prefetch import (
     ShiftPrefetcher,
 )
 from repro.isa.instruction import BranchKind
-from repro.workloads.trace import FetchRecord, Trace
+from repro.workloads.trace import FetchRecord
 
 
 def _chain_records(count=10, start=0x1000, region_bytes=0x100):

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 
@@ -16,7 +15,6 @@ from repro.sweep import (
     ResultCache,
     SweepCell,
     TraceStore,
-    cell_key,
     clear_workload_memo,
     default_cache_dir,
     default_trace_dir,
@@ -244,6 +242,55 @@ class TestTraceStorePrune:
     def test_prune_on_missing_directory_is_a_no_op(self, tmp_path):
         store = TraceStore(tmp_path / "never-created")
         assert store.prune(100) == (0, 0)
+
+    def test_prune_empty_store_is_a_no_op(self, tmp_path):
+        # An existing-but-empty directory: nothing to evict at any budget,
+        # including the degenerate max_bytes=0.
+        store = TraceStore(tmp_path / "traces")
+        store.directory.mkdir(parents=True)
+        assert store.prune(0) == (0, 0)
+        assert store.prune(1 << 20) == (0, 0)
+        assert store.directory.is_dir()  # prune never removes the directory
+
+    def test_prune_zero_budget_ignores_foreign_files(self, tmp_path):
+        # max_bytes=0 means "no artifacts", not "empty directory": files that
+        # are not .trace artifacts are none of prune's business.
+        store, _, paths = self._store_with_artifacts(tmp_path)
+        bystander = store.directory / "README.txt"
+        bystander.write_text("not an artifact")
+        removed, _ = store.prune(0)
+        assert removed == len(paths)
+        assert bystander.exists()
+
+    def test_prune_with_tied_timestamps_still_meets_the_budget(self, tmp_path):
+        # Identical max(atime, mtime) on every artifact: the LRU order is
+        # arbitrary but the contract is not — prune must still evict exactly
+        # enough artifacts to fit the budget, deterministically in count.
+        store = TraceStore(tmp_path / "traces")
+        store.directory.mkdir(parents=True)
+        size = 1024
+        paths = []
+        for index in range(3):
+            path = store.directory / (f"{index:064x}.trace")
+            path.write_bytes(b"x" * size)
+            os.utime(path, (1000.0, 1000.0))
+            paths.append(path)
+        removed, freed = store.prune(size)  # room for exactly one artifact
+        assert removed == 2
+        assert freed == 2 * size
+        assert sum(path.exists() for path in paths) == 1
+
+    def test_prune_in_flight_tempfile_bytes_do_not_count(self, tmp_path):
+        # The budget is over *artifacts*: an in-flight put()'s tempfile must
+        # not push the store over budget and trigger spurious evictions.
+        store, _, paths = self._store_with_artifacts(tmp_path)
+        budget = sum(path.stat().st_size for path in paths)
+        tmp = store.directory / ".tmp-inflight.trace"
+        tmp.write_bytes(b"x" * (1 << 20))
+        os.utime(tmp, (1.0, 1.0))
+        assert store.prune(budget) == (0, 0)
+        assert all(path.exists() for path in paths)
+        assert tmp.exists()
 
     def test_prune_never_touches_in_flight_put_tempfiles(self, tmp_path):
         # put() streams into a .tmp-*.trace sibling before its atomic rename;

@@ -44,8 +44,10 @@ class TestProfiles:
     def test_static_branch_density_targets_match_table2(self):
         # Table 2: DB2 3.6, Oracle 2.5, DSS ~3.4, Media 3.5, Web 4.3.
         assert get_profile("oltp_db2").static_branch_density_target == pytest.approx(3.6, abs=0.1)
-        assert get_profile("oltp_oracle").static_branch_density_target == pytest.approx(2.5, abs=0.1)
-        assert get_profile("web_frontend").static_branch_density_target == pytest.approx(4.3, abs=0.1)
+        oracle = get_profile("oltp_oracle").static_branch_density_target
+        assert oracle == pytest.approx(2.5, abs=0.1)
+        web = get_profile("web_frontend").static_branch_density_target
+        assert web == pytest.approx(4.3, abs=0.1)
 
     def test_footprints_exceed_l1i_capacity(self):
         for profile in WORKLOAD_PROFILES.values():
@@ -70,7 +72,8 @@ class TestProfiles:
         profiles = evaluation_profiles(scale=0.2)
         assert len(profiles) == 5
         for label, profile in profiles.items():
-            assert profile.functions_per_layer <= WORKLOAD_PROFILES[EVALUATION_WORKLOADS[label]].functions_per_layer
+            full = WORKLOAD_PROFILES[EVALUATION_WORKLOADS[label]]
+            assert profile.functions_per_layer <= full.functions_per_layer
 
 
 class TestSynthesis:
