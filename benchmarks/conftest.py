@@ -141,5 +141,5 @@ def workloads():
             max_workers=min(BENCH_PARALLEL, len(profiles)), mp_context=context
         ) as pool:
             built_list = list(pool.map(_build_workload, profiles.values()))
-        return dict(zip(profiles.keys(), built_list))
+        return dict(zip(profiles.keys(), built_list, strict=True))
     return {label: _build_workload(profile) for label, profile in profiles.items()}

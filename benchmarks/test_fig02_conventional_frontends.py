@@ -16,7 +16,7 @@ def test_fig02_conventional_frontier(workloads, benchmark):
     def run():
         per_design = {name: [] for name in DESIGNS}
         areas = {}
-        for label, (program, trace) in workloads.items():
+        for program, trace in workloads.values():
             outcomes = frontend_comparison(program, trace, DESIGNS)
             rows = performance_area_frontier(outcomes)
             for row in rows:

@@ -20,7 +20,7 @@ def test_fig06_confluence_frontier(workloads, benchmark, shape_assertions):
     def run():
         per_design = {name: [] for name in DESIGNS}
         areas = {}
-        for label, (program, trace) in workloads.items():
+        for program, trace in workloads.values():
             outcomes = frontend_comparison(program, trace, DESIGNS)
             for row in performance_area_frontier(outcomes):
                 per_design[row["design"]].append(row["relative_performance"])

@@ -59,7 +59,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set
 
 from repro.analysis.reporting import format_table
 from repro.api import reports_from_sweep
@@ -73,6 +73,10 @@ from repro.sweep import (
 )
 from repro.workloads.profiles import WORKLOAD_PROFILES
 from repro.workloads.scenario import SCENARIOS
+
+if TYPE_CHECKING:
+    from repro.workloads.packed import PackedTrace
+    from repro.workloads.trace import TraceStatistics
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -200,6 +204,46 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fail (exit 1) if this run's JSON schema drifts "
                             "from the trajectory point at PATH")
     bench.set_defaults(handler=_run_bench_command)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro.staticcheck invariant rules (R001..R005)",
+        description=(
+            "Parse the target trees and enforce the repository's structural "
+            "invariants: hot-loop allocation discipline, determinism of "
+            "trace/seed/cache-key code, cache-key closure completeness, "
+            "pickle-boundary safety and registry wiring. Exits 0 when clean, "
+            "1 on findings, 2 on bad usage (unknown rule, unreadable "
+            "baseline, unparsable target)."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="package directories or files to lint "
+             "(default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--rules", nargs="+", metavar="ID", default=None,
+        help="run only these rule IDs (default: all registered rules)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as stable-schema JSON instead of text",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the surviving findings to PATH as a baseline and exit 0 "
+             "(the adoption ratchet)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(handler=_run_lint_command)
     return parser
 
 
@@ -300,7 +344,9 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_trace_stats(name: str, instruction_count: int, stats) -> None:
+def _print_trace_stats(
+    name: str, instruction_count: int, stats: "TraceStatistics"
+) -> None:
     print(f"trace: {name}")
     print(f"  fetch regions:        {stats.fetch_region_count}")
     print(f"  instructions:         {instruction_count}")
@@ -326,7 +372,9 @@ def _parse_byte_size(text: str) -> int:
     try:
         value = int(raw)
     except ValueError:
-        raise ValueError(f"not a byte size: {text!r} (expected e.g. 1048576, 512M)")
+        raise ValueError(
+            f"not a byte size: {text!r} (expected e.g. 1048576, 512M)"
+        ) from None
     if value < 0:
         raise ValueError(f"byte size must be non-negative: {text!r}")
     return value * multiplier
@@ -405,10 +453,10 @@ def _run_trace_command(args: argparse.Namespace) -> int:
     # is the point of the chunked on-disk format.
     walker = TraceWalker(program, seed=args.seed)
     counters = [0] * 9
-    blocks: set = set()
-    taken_pcs: set = set()
+    blocks: Set[int] = set()
+    taken_pcs: Set[int] = set()
 
-    def folded(chunks):
+    def folded(chunks: Iterator["PackedTrace"]) -> Iterator["PackedTrace"]:
         for chunk in chunks:
             chunk.fold_statistics(counters, blocks, taken_pcs)
             yield chunk
@@ -499,6 +547,67 @@ def _run_bench_command(args: argparse.Namespace) -> int:
             return 1
         print(f"--expect-schema: schema matches {args.expect_schema}")
     return 0
+
+
+def _run_lint_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.registry import UnknownComponentError
+    from repro.staticcheck import (
+        LINT_SCHEMA_VERSION,
+        Baseline,
+        RULE_REGISTRY,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule_id in RULE_REGISTRY.names():
+            print(f"{rule_id}  {RULE_REGISTRY.describe(rule_id)}")
+        return 0
+
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"lint: cannot load baseline {args.baseline}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        findings = run_lint(paths, rule_ids=args.rules, baseline=baseline)
+    except UnknownComponentError as error:
+        print(f"lint: {error.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, SyntaxError) as error:
+        print(f"lint: cannot parse target: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        Baseline.dump(findings, Path(args.write_baseline))
+        print(f"wrote {len(findings)} suppression(s) to {args.write_baseline}")
+        return 0
+
+    if args.as_json:
+        payload = {
+            "schema": LINT_SCHEMA_VERSION,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(finding.render())
+        suppressed = f" ({len(baseline)} baselined)" if baseline else ""
+        if findings:
+            print(f"{len(findings)} finding(s){suppressed}")
+        else:
+            print(f"clean{suppressed}")
+    return 1 if findings else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

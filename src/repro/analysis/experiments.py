@@ -15,7 +15,7 @@ sweep without new harness code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api import RunReport, run_grid
 from repro.branch.btb_base import BaseBTB
@@ -71,6 +71,7 @@ def run_btb_coverage(
             packed.kinds,
             packed.takens,
             packed.targets,
+            strict=True,
         )
     ):
         measured = index >= boundary
@@ -201,7 +202,7 @@ def performance_area_frontier(
 def confluence_variant(
     name: str,
     synchronized: bool = True,
-    **airbtb_params,
+    **airbtb_params: Any,
 ) -> DesignSpec:
     """A Confluence design-spec variant with AirBTB parameter overrides.
 
@@ -332,7 +333,7 @@ def evaluation_grid(
     designs: Sequence[Union[str, DesignSpec]] = GRID_DESIGNS,
     profiles: Optional[Sequence[str]] = None,
     baseline: Optional[str] = None,
-    **sweep_kwargs,
+    **sweep_kwargs: Any,
 ) -> Dict[str, RunReport]:
     """The paper's workload x design CMP grid, on the parallel sweep engine.
 
@@ -364,7 +365,7 @@ def grid_speedup_rows(
             float(reports[profile][design]["speedup"]) for profile in profile_names
         ]
         row: Dict[str, object] = {"design": design}
-        row.update(dict(zip(profile_names, speedups)))
+        row.update(dict(zip(profile_names, speedups, strict=True)))
         row["geomean"] = geometric_mean(speedups)
         rows.append(row)
     return rows
@@ -382,7 +383,7 @@ def scenario_grid(
     scenarios: Sequence[str] = SCENARIO_SET,
     designs: Sequence[Union[str, DesignSpec]] = GRID_DESIGNS,
     baseline: Optional[str] = None,
-    **sweep_kwargs,
+    **sweep_kwargs: Any,
 ) -> Dict[str, RunReport]:
     """The consolidated-server grid: scenario x design, on the sweep engine.
 

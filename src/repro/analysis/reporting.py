@@ -32,7 +32,7 @@ def format_table(
     if title:
         lines.append(title)
     for index, line in enumerate(rendered):
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths, strict=True)))
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.cmp import ChipMultiprocessor
 from repro.core.designs import DesignSpec, resolve_design
@@ -343,7 +343,7 @@ class Session:
             instructions_per_core=self.instructions_per_core,
             baseline=baseline,
             names=names,
-            summaries=dict(zip(names, summaries)),
+            summaries=dict(zip(names, summaries, strict=True)),
         )
 
 
@@ -381,7 +381,7 @@ def run_grid(
     profiles: Iterable[Union[str, WorkloadProfile]],
     designs: Sequence[Union[str, DesignSpec]],
     baseline: Optional[str] = None,
-    **sweep_kwargs,
+    **sweep_kwargs: Any,
 ) -> Dict[str, RunReport]:
     """Run a workload x design grid through the parallel sweep engine.
 

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.isa.instruction import BranchKind
 from repro.isa.predecode import PredecodedBlock
+
+if TYPE_CHECKING:  # import cycle guard: unit.py imports this module
+    from repro.branch.unit import PredictionSlot
 
 
 @dataclass(frozen=True)
@@ -108,7 +111,9 @@ class BaseBTB(abc.ABC):
         exactly when the paper's designs would.
         """
 
-    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+    def lookup_into(
+        self, slot: "PredictionSlot", branch_pc: int, taken: bool = True
+    ) -> None:
         """Write the outcome of a lookup into a reusable prediction slot.
 
         ``slot`` is a :class:`repro.branch.unit.PredictionSlot`; only its

@@ -16,12 +16,16 @@ tag bits of a 48-bit virtual address space.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BranchKind
 from repro.registry import BTB_REGISTRY, BuildContext
+from repro.staticcheck.markers import hot_loop
+
+if TYPE_CHECKING:  # import cycle guard: unit.py imports btb_base
+    from repro.branch.unit import PredictionSlot
 
 #: Bits per victim-buffer entry: full tag, target displacement, type, valid.
 _VICTIM_ENTRY_BITS = 48 + 30 + 2 + 1
@@ -99,7 +103,10 @@ class ConventionalBTB(BaseBTB):
         self.stats.record(False, taken)
         return BTBLookupResult(False, None, 0, "miss")
 
-    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+    @hot_loop
+    def lookup_into(
+        self, slot: "PredictionSlot", branch_pc: int, taken: bool = True
+    ) -> None:
         """:meth:`lookup` mirrored into a reusable slot (no result object)."""
         hit, payload = self._main.access(branch_pc)
         if hit:
@@ -152,7 +159,7 @@ class PerfectBTB(BaseBTB):
     def __init__(self, latency_cycles: int = 1) -> None:
         super().__init__("perfect_btb")
         self.latency_cycles = latency_cycles
-        self._entries = {}
+        self._entries: Dict[int, BTBEntry] = {}
 
     def lookup(self, branch_pc: int, taken: bool = True) -> BTBLookupResult:
         entry = self._entries.get(branch_pc)
@@ -162,7 +169,10 @@ class PerfectBTB(BaseBTB):
             return BTBLookupResult(True, entry, self.latency_cycles, "perfect")
         return BTBLookupResult(False, None, 0, "miss")
 
-    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+    @hot_loop
+    def lookup_into(
+        self, slot: "PredictionSlot", branch_pc: int, taken: bool = True
+    ) -> None:
         entry = self._entries.get(branch_pc)
         hit = entry is not None
         self.stats.record(hit, taken)
@@ -188,13 +198,13 @@ class PerfectBTB(BaseBTB):
 # --------------------------------------------------------------------------- #
 
 @BTB_REGISTRY.register("conventional")
-def _build_conventional(ctx: BuildContext, **params) -> ConventionalBTB:
+def _build_conventional(ctx: BuildContext, **params: Any) -> ConventionalBTB:
     """Generic conventional BTB; geometry comes entirely from the spec."""
     return ConventionalBTB(**params)
 
 
 @BTB_REGISTRY.register("conventional_1k")
-def _build_conventional_1k(ctx: BuildContext, **params) -> ConventionalBTB:
+def _build_conventional_1k(ctx: BuildContext, **params: Any) -> ConventionalBTB:
     """The paper's baseline: 1K entries plus a 64-entry victim buffer."""
     params.setdefault("entries", 1024)
     params.setdefault("victim_entries", 64)
@@ -202,7 +212,7 @@ def _build_conventional_1k(ctx: BuildContext, **params) -> ConventionalBTB:
 
 
 @BTB_REGISTRY.register("ideal_16k")
-def _build_ideal_16k(ctx: BuildContext, **params) -> ConventionalBTB:
+def _build_ideal_16k(ctx: BuildContext, **params: Any) -> ConventionalBTB:
     """16K entries at first-level latency (the IdealBTB of Figure 7)."""
     params.setdefault("entries", 16 * 1024)
     params.setdefault("latency_cycles", 1)
@@ -211,5 +221,5 @@ def _build_ideal_16k(ctx: BuildContext, **params) -> ConventionalBTB:
 
 
 @BTB_REGISTRY.register("perfect")
-def _build_perfect(ctx: BuildContext, **params) -> PerfectBTB:
+def _build_perfect(ctx: BuildContext, **params: Any) -> PerfectBTB:
     return PerfectBTB(**params)

@@ -23,7 +23,7 @@ coverage/timeliness limitation the paper discusses.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.branch.btb_conventional import conventional_entry_bits
@@ -173,7 +173,7 @@ class PhantomBTB(BaseBTB):
 
 
 @BTB_REGISTRY.register("phantom")
-def _build_phantom(ctx: BuildContext, **params) -> PhantomBTB:
+def _build_phantom(ctx: BuildContext, **params: Any) -> PhantomBTB:
     """PhantomBTB virtualizes its temporal groups in the context's LLC."""
     params.setdefault("llc", ctx.llc)
     return PhantomBTB(**params)

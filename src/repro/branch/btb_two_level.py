@@ -10,13 +10,17 @@ by then, which is exactly the timeliness problem Confluence removes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.branch.btb_conventional import conventional_entry_bits
 from repro.caches.sram import SetAssociativeCache
 from repro.isa.instruction import BranchKind
 from repro.registry import BTB_REGISTRY, BuildContext
+from repro.staticcheck.markers import hot_loop
+
+if TYPE_CHECKING:  # import cycle guard: unit.py imports btb_base
+    from repro.branch.unit import PredictionSlot
 
 
 class TwoLevelBTB(BaseBTB):
@@ -61,7 +65,10 @@ class TwoLevelBTB(BaseBTB):
         self.stats.record(False, taken)
         return BTBLookupResult(False, None, 0, "miss")
 
-    def lookup_into(self, slot, branch_pc: int, taken: bool = True) -> None:
+    @hot_loop
+    def lookup_into(
+        self, slot: "PredictionSlot", branch_pc: int, taken: bool = True
+    ) -> None:
         """:meth:`lookup` mirrored into a reusable slot (no result object)."""
         hit, payload = self._l1.access(branch_pc)
         if hit:
@@ -107,5 +114,5 @@ class TwoLevelBTB(BaseBTB):
 
 
 @BTB_REGISTRY.register("two_level")
-def _build_two_level(ctx: BuildContext, **params) -> TwoLevelBTB:
+def _build_two_level(ctx: BuildContext, **params: Any) -> TwoLevelBTB:
     return TwoLevelBTB(**params)

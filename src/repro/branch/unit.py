@@ -16,6 +16,7 @@ from repro.branch.direction import HybridDirectionPredictor
 from repro.branch.indirect import IndirectTargetCache
 from repro.branch.ras import ReturnAddressStack
 from repro.isa.instruction import BranchKind
+from repro.staticcheck.markers import hot_loop
 from repro.workloads.trace import FetchRecord
 
 
@@ -195,6 +196,7 @@ class BranchPredictionUnit:
             self.direction_mispredictions += 1
         return prediction
 
+    @hot_loop
     def predict_region_into(
         self,
         slot: PredictionSlot,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Protocol
 
-from repro.caches.sram import SetAssociativeCache
+from repro.caches.sram import CacheStats, SetAssociativeCache
 from repro.isa.instruction import BLOCK_SIZE_BYTES, block_address
 
 
@@ -70,7 +70,7 @@ class InstructionCache:
         self.prefetch_fills = 0
 
     @property
-    def stats(self):
+    def stats(self) -> CacheStats:
         return self._cache.stats
 
     def add_listener(self, listener: FillListener) -> None:

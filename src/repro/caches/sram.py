@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 #: Called with the evicted key and its payload whenever an insertion
 #: displaces an entry.
@@ -91,11 +91,11 @@ class SetAssociativeCache:
         """Presence check without updating LRU state or statistics."""
         return key in self._storage[self._set_index(key)]
 
-    def peek(self, key: int) -> Optional[object]:
+    def peek(self, key: int) -> Any:
         """Return the payload without updating LRU state or statistics."""
         return self._storage[self._set_index(key)].get(key)
 
-    def lookup(self, key: int) -> Optional[object]:
+    def lookup(self, key: int) -> Any:
         """Look up ``key``; updates LRU order and statistics.
 
         Returns the payload (which may be ``None`` if none was stored) on a
@@ -105,7 +105,7 @@ class SetAssociativeCache:
         hit, payload = self.access(key)
         return payload if hit else None
 
-    def access(self, key: int) -> tuple:
+    def access(self, key: int) -> Tuple[bool, Any]:
         """Look up ``key``; returns ``(hit, payload)`` and updates LRU."""
         target_set = self._storage[self._set_index(key)]
         self.stats.lookups += 1

@@ -26,7 +26,7 @@ ablation uses to isolate where AirBTB's coverage advantage comes from:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.branch.btb_base import BaseBTB, BTBEntry, BTBLookupResult
 from repro.caches.sram import SetAssociativeCache
@@ -279,7 +279,7 @@ class AirBTB(BaseBTB):
 
 
 @BTB_REGISTRY.register("airbtb_standalone")
-def _build_airbtb_standalone(ctx: BuildContext, **params) -> AirBTB:
+def _build_airbtb_standalone(ctx: BuildContext, **params: Any) -> AirBTB:
     """A bare AirBTB with internal LRU (no Confluence around it).
 
     Used by component-level coverage studies (the Figure 8 capacity and

@@ -35,7 +35,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.caches.llc import LLCConfig, SharedLLC
 from repro.core.area import FrontendAreaReport
@@ -50,6 +50,24 @@ from repro.workloads.packed import load_packed
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.scenario import BoundScenario, CoreWorkload, Scenario
 from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # import cycle guard: sweep.py imports this module
+    from multiprocessing.context import BaseContext
+
+    from repro.sweep import TraceStore
+
+#: One replaying core's pickled work order: (spec, program, inline trace,
+#: artifact path, trace name, shared-history snapshot, LLC geometry, config).
+_ReplayJob = Tuple[
+    DesignSpec,
+    SyntheticProgram,
+    Optional[Trace],
+    Optional[str],
+    str,
+    Dict[str, Any],
+    LLCConfig,
+    Optional[FrontendConfig],
+]
 
 
 @dataclass
@@ -110,7 +128,7 @@ class CMPResult:
         """
         names = self.core_profiles or [self.workload] * len(self.core_results)
         groups: Dict[str, List[FrontendResult]] = {}
-        for name, result in zip(names, self.core_results):
+        for name, result in zip(names, self.core_results, strict=True):
             groups.setdefault(name, []).append(result)
         breakdown: Dict[str, Dict[str, float]] = {}
         for name, results in groups.items():
@@ -141,7 +159,7 @@ class CMPResult:
         return self.ipc / baseline.ipc
 
 
-def _replay_core(job) -> FrontendResult:
+def _replay_core(job: _ReplayJob) -> FrontendResult:
     """Simulate one replaying core in a worker process.
 
     The worker rebuilds its private surroundings (LLC with the same geometry,
@@ -170,7 +188,7 @@ def _replay_core(job) -> FrontendResult:
     return simulator.run(trace)
 
 
-def _fork_context():
+def _fork_context() -> Optional["BaseContext"]:
     """Prefer fork so worker processes inherit user-registered components."""
     try:
         return multiprocessing.get_context("fork")
@@ -205,7 +223,7 @@ class ChipMultiprocessor:
         frontend_config: Optional[FrontendConfig] = None,
         trace_seed_base: int = 100,
         workers: Optional[int] = None,
-        trace_store=None,
+        trace_store: Optional["TraceStore"] = None,
         scenario: Union[None, Scenario, BoundScenario] = None,
     ) -> None:
         if workers is not None and workers <= 0:
@@ -384,7 +402,7 @@ class ChipMultiprocessor:
             # Each profile's history is immutable once its recorder finishes;
             # one snapshot per profile serves every replaying core.  Traces
             # backed by a store artifact travel as paths, not pickled columns.
-            snapshots: Dict[WorkloadProfile, dict] = {}
+            snapshots: Dict[WorkloadProfile, Dict[str, Any]] = {}
             jobs = []
             for index in replayers:
                 workload = self.workloads[index]
@@ -406,7 +424,7 @@ class ChipMultiprocessor:
             with ProcessPoolExecutor(
                 max_workers=pool_size, mp_context=_fork_context()
             ) as pool:
-                for index, core_result in zip(replayers, pool.map(_replay_core, jobs)):
+                for index, core_result in zip(replayers, pool.map(_replay_core, jobs), strict=True):
                     core_results[index] = core_result
         else:
             for index in replayers:
@@ -421,7 +439,12 @@ class ChipMultiprocessor:
                 )
                 core_results[index] = simulator.run(traces[index])
 
-        result.core_results.extend(core_results)  # type: ignore[arg-type]
+        # Every core index was filled (replayed or simulated inline); the
+        # comprehension narrows List[Optional[...]] for the result list.
+        completed = [core for core in core_results if core is not None]
+        if len(completed) != self.cores:  # pragma: no cover - defensive
+            raise RuntimeError("CMP run left a core without a result")
+        result.core_results.extend(completed)
         return result
 
     def run_designs(

@@ -16,7 +16,7 @@ L1-I and the BTB ahead of the fetch stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.caches.l1i import InstructionCache
 from repro.caches.llc import SharedLLC
@@ -111,7 +111,7 @@ class Confluence:
 
 
 @BTB_REGISTRY.register("airbtb")
-def _build_airbtb(ctx: BuildContext, **params) -> AirBTB:
+def _build_airbtb(ctx: BuildContext, **params: Any) -> AirBTB:
     """AirBTB comes wrapped in a full Confluence instance.
 
     ``params`` map onto :class:`~repro.core.airbtb.AirBTBConfig` fields, plus

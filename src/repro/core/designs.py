@@ -38,7 +38,7 @@ Extending the catalog takes one call::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.branch.btb_conventional import conventional_storage_kb
 from repro.branch.unit import BranchPredictionUnit
@@ -96,7 +96,9 @@ class DesignSpec:
     prefetcher_params: Mapping[str, object] = field(default_factory=dict)
     btb_storage_kb: Optional[float] = None
 
-    def derive(self, name: str, label: Optional[str] = None, **overrides) -> "DesignSpec":
+    def derive(
+        self, name: str, label: Optional[str] = None, **overrides: Any
+    ) -> "DesignSpec":
         """A renamed copy with parameter overrides merged in.
 
         ``btb_params``/``prefetcher_params`` given here are merged over the

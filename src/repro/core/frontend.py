@@ -35,6 +35,7 @@ from repro.isa.instruction import (
     INSTRUCTION_SIZE_BYTES,
 )
 from repro.prefetch.base import InstructionPrefetcher, NullPrefetcher, PrefetchContext
+from repro.staticcheck.markers import hot_loop
 from repro.workloads.packed import KIND_CODES, NO_VALUE
 from repro.workloads.trace import FetchRecord, Trace
 
@@ -183,6 +184,7 @@ class FrontendSimulator:
         self._finalize(result)
         return result
 
+    @hot_loop
     def _run_packed(self, trace: Trace, warmup: float) -> FrontendResult:
         """Columnar fast loop: one pass over the packed arrays, no records.
 

@@ -32,9 +32,10 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.designs import design_from_spec, resolve_design
+from repro.core.frontend import FrontendResult, FrontendSimulator
 from repro.workloads import generate_trace, get_profile, synthesize_program
 from repro.workloads.packed import load_packed
 from repro.workloads.trace import Trace
@@ -81,7 +82,9 @@ def _peak_rss_kb() -> int:
     return int(peak)
 
 
-def _time_run(simulator, trace: Trace, use_packed: bool = True):
+def _time_run(
+    simulator: FrontendSimulator, trace: Trace, use_packed: bool = True
+) -> Tuple[FrontendResult, float]:
     start = time.perf_counter()
     result = simulator.run(trace, use_packed=use_packed)
     return result, time.perf_counter() - start
@@ -267,18 +270,17 @@ def format_bench_report(payload: Dict[str, object]) -> str:
         )
     record = payload["record_path"]
     lines.append(
-        "  {0:>16}: {1:>12,.0f} regions/s (record-view oracle)".format(
-            record["design"], record["regions_per_sec"]
-        )
+        f"  {record['design']:>16}: {record['regions_per_sec']:>12,.0f} "
+        "regions/s (record-view oracle)"
     )
     lines.append(f"  packed speedup over record path: {payload['packed_speedup']:.2f}x")
     lines.append(f"  peak RSS: {payload['peak_rss_kb']} KB")
     return "\n".join(lines)
 
 
-def load_trajectory_point(path) -> Dict[str, object]:
+def load_trajectory_point(path: Union[str, Path]) -> Dict[str, object]:
     """Read a committed trajectory point (schema-checked)."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA_VERSION:
         raise ValueError(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.registry import PREFETCHER_REGISTRY, BuildContext
 from repro.workloads.packed import PackedTrace
@@ -103,11 +103,11 @@ class NullPrefetcher(InstructionPrefetcher):
 
 
 @PREFETCHER_REGISTRY.register("none")
-def _build_null(ctx: BuildContext, **params) -> NullPrefetcher:
+def _build_null(ctx: BuildContext, **params: Any) -> NullPrefetcher:
     return NullPrefetcher(**params)
 
 
 @PREFETCHER_REGISTRY.register("perfect")
-def _build_perfect(ctx: BuildContext, **params) -> NullPrefetcher:
+def _build_perfect(ctx: BuildContext, **params: Any) -> NullPrefetcher:
     """A perfect L1-I needs no prefetcher; the design flag does the work."""
     return NullPrefetcher(**params)

@@ -17,12 +17,15 @@ fall out of this model directly:
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Any, Iterable, List
 
 from repro.isa.instruction import BLOCK_SIZE_BYTES, BranchKind
 from repro.prefetch.base import InstructionPrefetcher, PrefetchContext
 from repro.registry import PREFETCHER_REGISTRY, BuildContext
 from repro.workloads.packed import NO_VALUE, kind_code
+
+if TYPE_CHECKING:  # import cycle guard: frontend wiring imports both sides
+    from repro.branch.unit import BranchPredictionUnit
 
 
 class FetchDirectedPrefetcher(InstructionPrefetcher):
@@ -54,7 +57,9 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
         self.issued_prefetches += len(targets)
         return targets
 
-    def _targets_records(self, context: PrefetchContext, bpu) -> List[int]:
+    def _targets_records(
+        self, context: PrefetchContext, bpu: "BranchPredictionUnit"
+    ) -> List[int]:
         targets: List[int] = []
         records = context.records
         limit = min(len(records), context.index + 1 + self.queue_depth)
@@ -77,7 +82,9 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
                     targets.append(block)
         return targets
 
-    def _targets_packed(self, context: PrefetchContext, bpu) -> List[int]:
+    def _targets_packed(
+        self, context: PrefetchContext, bpu: "BranchPredictionUnit"
+    ) -> List[int]:
         """Columnar runahead: same walk, straight off the packed columns."""
         targets: List[int] = []
         packed = context.packed
@@ -109,7 +116,7 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
         return targets
 
     @staticmethod
-    def _btb_has(bpu, branch_pc: int) -> bool:
+    def _btb_has(bpu: "BranchPredictionUnit", branch_pc: int) -> bool:
         """Non-destructive BTB presence check for the runahead path."""
         btb = bpu.btb
         peek = getattr(btb, "peek_hit", None)
@@ -124,5 +131,5 @@ class FetchDirectedPrefetcher(InstructionPrefetcher):
 
 
 @PREFETCHER_REGISTRY.register("fdp")
-def _build_fdp(ctx: BuildContext, **params) -> FetchDirectedPrefetcher:
+def _build_fdp(ctx: BuildContext, **params: Any) -> FetchDirectedPrefetcher:
     return FetchDirectedPrefetcher(**params)

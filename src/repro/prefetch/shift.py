@@ -20,7 +20,7 @@ workload; Confluence inherits this sharing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.caches.llc import SharedLLC
 from repro.isa.instruction import BLOCK_SIZE_BYTES
@@ -106,9 +106,12 @@ class ShiftHistory:
         self._buffer[position] = block_addr
         self._index[block_addr] = position
         # Drop the index entry of the overwritten slot if it still points here.
-        if self._valid == self.capacity and self._index.get(overwritten) == position:
-            if overwritten != block_addr:
-                del self._index[overwritten]
+        if (
+            self._valid == self.capacity
+            and overwritten != block_addr
+            and self._index.get(overwritten) == position
+        ):
+            del self._index[overwritten]
         self._head = (position + 1) % self.capacity
         self._valid = min(self._valid + 1, self.capacity)
         self.records += 1
@@ -153,7 +156,7 @@ class ShiftHistory:
     # Replay-side cloning (used by the parallel CMP runner)
     # ------------------------------------------------------------------ #
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """Capture the recorded state as plain, picklable data."""
         return {
             "config": self.config,
@@ -165,7 +168,9 @@ class ShiftHistory:
         }
 
     @classmethod
-    def restore(cls, state: dict, llc: Optional[SharedLLC] = None) -> "ShiftHistory":
+    def restore(
+        cls, state: Dict[str, Any], llc: Optional[SharedLLC] = None
+    ) -> "ShiftHistory":
         """Rebuild a history from :meth:`snapshot` (e.g. in a worker process)."""
         history = cls(config=state["config"], llc=llc)
         history._buffer = list(state["buffer"])
@@ -285,7 +290,7 @@ class ShiftPrefetcher(InstructionPrefetcher):
 
 
 @PREFETCHER_REGISTRY.register("shift")
-def _build_shift(ctx: BuildContext, **params) -> InstructionPrefetcher:
+def _build_shift(ctx: BuildContext, **params: Any) -> InstructionPrefetcher:
     """SHIFT shares one history per workload; Confluence brings its own."""
     if ctx.confluence is not None:
         return ctx.confluence.prefetcher

@@ -26,7 +26,7 @@ simulator wiring can pick it up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.caches.l1i import InstructionCache
@@ -48,7 +48,9 @@ class UnknownComponentError(KeyError):
         return self.args[0] if self.args else ""
 
 
-def unknown_name_error(kind: str, name: str, known) -> UnknownComponentError:
+def unknown_name_error(
+    kind: str, name: str, known: Iterable[str]
+) -> UnknownComponentError:
     """The single unknown-name error used by registries and catalogs."""
     listing = ", ".join(sorted(known))
     return UnknownComponentError(f"unknown {kind} {name!r}; known: {listing}")
@@ -56,7 +58,7 @@ def unknown_name_error(kind: str, name: str, known) -> UnknownComponentError:
 
 def ensure_unique_names(
     kind: str,
-    names,
+    names: Iterable[str],
     hint: str = "DesignSpec.derive() renames a spec",
 ) -> None:
     """The single duplicate-name check used by runs, grids and sweeps.
@@ -114,7 +116,7 @@ class Registry:
         factory: Optional[ComponentFactory] = None,
         *,
         overwrite: bool = False,
-    ):
+    ) -> Callable[[ComponentFactory], ComponentFactory]:
         """Register ``factory`` under ``name``; usable as a decorator.
 
         Raises :class:`ValueError` on duplicate registration unless
@@ -220,8 +222,8 @@ def build_btb(
     name: str,
     program: Optional["SyntheticProgram"] = None,
     llc: Optional["SharedLLC"] = None,
-    **params,
-):
+    **params: Any,
+) -> Any:
     """Instantiate a registered BTB outside a full design point.
 
     Used by coverage harnesses and sweeps that drive a bare BTB with a
@@ -234,7 +236,7 @@ def build_prefetcher(
     name: str,
     program: Optional["SyntheticProgram"] = None,
     llc: Optional["SharedLLC"] = None,
-    **params,
-):
+    **params: Any,
+) -> Any:
     """Instantiate a registered prefetcher outside a full design point."""
     return PREFETCHER_REGISTRY.get(name)(_bare_context(program, llc), **params)

@@ -1,0 +1,57 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee (``None`` for computed callees)."""
+    return dotted_name(call.func)
+
+
+def last_attr(name: str) -> str:
+    """The final component of a dotted name (``a.b.c`` -> ``c``)."""
+    return name.rpartition(".")[2]
+
+
+def decorator_names(node: ast.AST) -> Iterator[str]:
+    """Dotted names of a function/class decorator list, calls unwrapped.
+
+    ``@hot_loop``, ``@staticcheck.hot_loop`` and
+    ``@BTB_REGISTRY.register("x")`` yield ``hot_loop``, ``staticcheck.
+    hot_loop`` and ``BTB_REGISTRY.register`` respectively.
+    """
+    for decorator in getattr(node, "decorator_list", ()):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None:
+            yield name
+
+
+def functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (sync) function definition in the tree, any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def is_constant_tuple(node: ast.AST) -> bool:
+    """A tuple display of constants only (compiled to a constant, no
+    runtime allocation)."""
+    return isinstance(node, ast.Tuple) and all(
+        isinstance(element, ast.Constant) for element in node.elts
+    )

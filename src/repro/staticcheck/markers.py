@@ -1,0 +1,34 @@
+"""Invariant markers: runtime no-ops that static rules anchor on.
+
+The analyzer works on source, so a marker's only job is to make an
+invariant *visible in the AST* at the function that promises it.  At
+runtime the decorators do nothing beyond tagging the function object (the
+tag lets tests and tools enumerate marked functions without parsing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+#: Attribute set on functions carrying the ``@hot_loop`` promise.
+HOT_LOOP_ATTRIBUTE = "__repro_hot_loop__"
+
+
+def hot_loop(func: _F) -> _F:
+    """Declare a function part of the zero-allocation simulation kernel.
+
+    Rule **R001** (:mod:`repro.staticcheck.rules.r001_hot_loop`) enforces the
+    promise at analysis time: no object construction, comprehensions,
+    closures or other per-iteration allocation inside the function's steady
+    state.  For a function containing loops the steady state is its loop
+    bodies (hoisting scratch objects into the prelude is exactly the
+    discipline the kernel follows); a function without loops is a
+    per-iteration leaf called *from* a hot loop, so its entire body is hot.
+
+    The decorator itself is free: it tags and returns the function unchanged
+    (no wrapper frame on the hot path).
+    """
+    setattr(func, HOT_LOOP_ATTRIBUTE, True)
+    return func

@@ -1,0 +1,117 @@
+"""Plugin registry for lint rules, mirroring :mod:`repro.registry`.
+
+Rules self-register at import time with a decorator, exactly like BTB and
+prefetcher factories do::
+
+    from repro.staticcheck.registry import RULE_REGISTRY
+
+    @RULE_REGISTRY.register("R101")
+    def check_my_invariant(package: PackageGraph) -> Iterator[Finding]:
+        ...
+
+A rule is a callable taking the :class:`~repro.staticcheck.model.
+PackageGraph` of one lint target and yielding
+:class:`~repro.staticcheck.model.Finding` objects.  Built-in rules live in
+:mod:`repro.staticcheck.rules`; user code can register more without
+touching this package (rule IDs outside ``R0xx`` are reserved for
+extensions).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.staticcheck.model import Finding, PackageGraph
+from repro.registry import unknown_name_error
+
+#: A rule inspects one parsed tree and yields its findings.
+LintRule = Callable[[PackageGraph], Iterator[Finding]]
+
+
+class RuleRegistry:
+    """Rule ID -> rule mapping with decorator-based registration."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, LintRule] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    def register(
+        self,
+        rule_id: str,
+        rule: Optional[LintRule] = None,
+        *,
+        overwrite: bool = False,
+    ) -> Callable[[LintRule], LintRule]:
+        """Register ``rule`` under ``rule_id``; usable as a decorator.
+
+        The rule's docstring first line becomes its catalog description.
+        """
+        if rule is None:
+
+            def decorator(func: LintRule) -> LintRule:
+                self.register(rule_id, func, overwrite=overwrite)
+                return func
+
+            return decorator
+        if not overwrite and rule_id in self._rules:
+            raise ValueError(
+                f"lint rule {rule_id!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._rules[rule_id] = rule
+        doc = (rule.__doc__ or "").strip().splitlines()
+        self._descriptions[rule_id] = doc[0] if doc else ""
+
+        def identity(func: LintRule) -> LintRule:
+            return func
+
+        return identity
+
+    def unregister(self, rule_id: str) -> None:
+        """Remove a registration (tests and plugin teardown)."""
+        self._rules.pop(rule_id, None)
+        self._descriptions.pop(rule_id, None)
+
+    def get(self, rule_id: str) -> LintRule:
+        """Resolve ``rule_id``, loading the built-in rules on first miss."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            load_builtin_rules()
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise unknown_name_error("lint rule", rule_id, self._rules) from None
+
+    def describe(self, rule_id: str) -> str:
+        self.get(rule_id)  # ensure built-ins are loaded
+        return self._descriptions.get(rule_id, "")
+
+    def __contains__(self, rule_id: str) -> bool:
+        if rule_id not in self._rules:
+            load_builtin_rules()
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def names(self) -> List[str]:
+        load_builtin_rules()
+        return sorted(self._rules)
+
+
+#: The rule registry (``RULE_REGISTRY.register(...)`` is the extension
+#: point, like ``BTB_REGISTRY`` / ``PREFETCHER_REGISTRY``).
+RULE_REGISTRY = RuleRegistry()
+
+_builtins_loaded = False
+
+
+def load_builtin_rules() -> None:
+    """Import :mod:`repro.staticcheck.rules` so its rules register."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    importlib.import_module("repro.staticcheck.rules")

@@ -1,0 +1,24 @@
+"""Built-in invariant rules.
+
+Each module registers one rule with :data:`~repro.staticcheck.registry.
+RULE_REGISTRY` at import time; this ``__init__`` imports every rule module
+so importing the package is enough to populate the registry — the same
+wiring contract rule **R005** enforces on the simulator's component
+packages (and, since this package registers components too, on itself).
+"""
+
+from repro.staticcheck.rules import (  # noqa: F401  (imported for registration)
+    r001_hot_loop,
+    r002_determinism,
+    r003_cache_keys,
+    r004_pickle_boundary,
+    r005_registry_wiring,
+)
+
+__all__ = [
+    "r001_hot_loop",
+    "r002_determinism",
+    "r003_cache_keys",
+    "r004_pickle_boundary",
+    "r005_registry_wiring",
+]

@@ -1,0 +1,57 @@
+"""Lint driver: parse targets, run rules, apply baseline suppression."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.staticcheck.model import Baseline, Finding, PackageGraph, parse_tree
+from repro.staticcheck.registry import RULE_REGISTRY
+
+
+def parse_target(path: Union[str, Path]) -> PackageGraph:
+    """Parse one lint target (package directory, plain directory or file).
+
+    A directory containing an ``__init__.py`` is scanned as a package: its
+    directory name seeds the dotted module names (``src/repro`` lints as
+    ``repro.*``), which is what lets the wiring and scope rules see the
+    same names imports use.
+    """
+    root = Path(path).resolve()
+    prefix = ""
+    if root.is_dir() and (root / "__init__.py").exists():
+        prefix = root.name
+    return parse_tree(root, module_prefix=prefix)
+
+
+def run_rules(
+    package: PackageGraph, rule_ids: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the selected rules (default: all registered) over one target."""
+    if rule_ids is None:
+        rule_ids = RULE_REGISTRY.names()
+    findings: List[Finding] = []
+    for rule_id in rule_ids:
+        findings.extend(RULE_REGISTRY.get(rule_id)(package))
+    return findings
+
+
+def run_lint(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Lint every target and return the surviving findings, sorted.
+
+    ``baseline`` suppresses known findings by fingerprint; sorting is by
+    (path, line, rule) so output and ``--json`` payloads are stable across
+    runs and platforms.
+    """
+    findings: List[Finding] = []
+    for path in paths:
+        findings.extend(run_rules(parse_target(path), rule_ids))
+    if baseline is not None:
+        findings = [f for f in findings if not baseline.suppresses(f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -38,6 +38,7 @@ behavior observable: a warm re-run of an unchanged grid reports
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import inspect
@@ -56,6 +57,7 @@ from repro.core.frontend import FrontendConfig
 from repro.registry import (
     BTB_REGISTRY,
     PREFETCHER_REGISTRY,
+    Registry,
     ensure_unique_names,
 )
 from repro.workloads.cfg import clear_program_memo, workload_program
@@ -108,7 +110,7 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Canonical plain-data form of cell parameters (dataclasses, mappings)."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
@@ -127,7 +129,7 @@ def _jsonable(value):
 _FACTORY_FINGERPRINTS: Dict[object, str] = {}
 
 
-def _factory_fingerprint(registry, name: str) -> str:
+def _factory_fingerprint(registry: Registry, name: str) -> str:
     """Content fingerprint of a registered component factory.
 
     The factory's *source* joins the cache key, so swapping or editing a
@@ -143,10 +145,9 @@ def _factory_fingerprint(registry, name: str) -> str:
         try:
             identity = inspect.getsource(factory)
         except (OSError, TypeError):  # e.g. factories defined in a REPL
-            identity = "{}:{}".format(
-                getattr(factory, "__module__", "?"),
-                getattr(factory, "__qualname__", repr(factory)),
-            )
+            module = getattr(factory, "__module__", "?")
+            qualname = getattr(factory, "__qualname__", repr(factory))
+            identity = f"{module}:{qualname}"
         fingerprint = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
         _FACTORY_FINGERPRINTS[factory] = fingerprint
     return fingerprint
@@ -227,7 +228,7 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """Load a cached summary, or ``None`` on miss/corruption/stale schema."""
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
+            with open(self._path(key), encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
             self.misses += 1
@@ -254,10 +255,8 @@ class ResultCache:
                 json.dump(payload, tmp, sort_keys=True)
             os.replace(tmp_name, self._path(key))
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
-            except OSError:
-                pass
             raise
         return self._path(key)
 
@@ -391,10 +390,8 @@ class TraceStore:
             trace.packed.save(tmp_name)
             os.replace(tmp_name, self._path(key))
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
-            except OSError:
-                pass
             raise
         return self._path(key)
 
@@ -685,7 +682,9 @@ def _simulate_cell_counted(
     )
 
 
-def _cell_job(job) -> Tuple[Dict[str, object], int, int, int]:
+def _cell_job(
+    job: Tuple["SweepCell", Optional[str]]
+) -> Tuple[Dict[str, object], int, int, int]:
     """Pool-worker entry: rebuilds the trace store from its directory.
 
     Workers receive the artifact *directory*, never trace objects: each
@@ -766,7 +765,7 @@ def run_cells(
                 _simulate_cell_counted(cells[i], traces, workers=core_workers)
                 for i in pending
             ]
-        for index, (summary, generated, loaded, mapped) in zip(pending, fresh):
+        for index, (summary, generated, loaded, mapped) in zip(pending, fresh, strict=True):
             summaries[index] = summary
             stats.simulated += 1
             stats.traces_generated += generated
@@ -775,7 +774,12 @@ def run_cells(
             if store is not None:
                 store.put(cells[index].key(), summary)
 
-    return list(summaries), stats  # type: ignore[arg-type]
+    # Every index was satisfied above (cache hit or fresh simulation); the
+    # comprehension narrows List[Optional[...]] to the declared return type.
+    completed = [summary for summary in summaries if summary is not None]
+    if len(completed) != len(cells):  # pragma: no cover - defensive
+        raise RuntimeError("sweep left a cell unsatisfied")
+    return completed, stats
 
 
 def run_sweep(
@@ -877,7 +881,7 @@ def run_sweep(
     )
     mapping = {
         (cell.profile.name, cell.spec.name): summary
-        for cell, summary in zip(cells, summaries)
+        for cell, summary in zip(cells, summaries, strict=True)
     }
     return SweepOutcome(
         profiles=profile_names,

@@ -49,7 +49,21 @@ import mmap as _mmap_module
 import struct
 import sys
 from array import array
-from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.isa.instruction import (
     BLOCK_SIZE_BYTES,
@@ -57,6 +71,9 @@ from repro.isa.instruction import (
     BranchKind,
     block_address,
 )
+
+if TYPE_CHECKING:  # import cycle guard: trace.py imports this module
+    from repro.workloads.trace import FetchRecord
 
 try:  # pragma: no cover - exercised indirectly where numpy is installed
     import numpy as _np
@@ -172,7 +189,7 @@ class PackedTrace:
         lengths = {len(column) for column in columns}
         if len(lengths) > 1:
             raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
-        for (attr, typecode), column in zip(_COLUMNS, columns):
+        for (attr, typecode), column in zip(_COLUMNS, columns, strict=True):
             if _column_typecode(column) != typecode:
                 raise ValueError(
                     f"column {attr!r} must have typecode {typecode!r}, "
@@ -200,7 +217,12 @@ class PackedTrace:
         """True when the columns are memoryviews over an mmap, not arrays."""
         return isinstance(self.starts, memoryview)
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> Tuple[
+        Callable[[str, Tuple[bytes, ...]], "PackedTrace"],
+        Tuple[str, Tuple[bytes, ...]],
+    ]:
         # Pickling (e.g. shipping a trace to a worker process) materializes
         # heap arrays: a memoryview cannot cross a process boundary, and the
         # receiving side re-maps from the artifact path when it wants
@@ -247,7 +269,7 @@ class PackedTrace:
     ) -> "PackedTrace":
         columns = _empty_columns()
         for trace in traces:
-            for column, (attr, _) in zip(columns, _COLUMNS):
+            for column, (attr, _) in zip(columns, _COLUMNS, strict=True):
                 column.extend(getattr(trace, attr))
         return cls(columns, name=name)
 
@@ -257,20 +279,22 @@ class PackedTrace:
 
     def iter_block_spans(self) -> Iterator[Tuple[int, int]]:
         """(first block address, block count) per region, in trace order."""
-        return zip(self.block_firsts, self.block_counts)
+        return zip(self.block_firsts, self.block_counts, strict=True)
 
     def iter_blocks(self) -> Iterator[int]:
         """Every block address touched, region by region, in fetch order
         (duplicates included — the L1-I dedup lives in ``Trace.block_stream``).
         """
         block_size = BLOCK_SIZE_BYTES
-        for first, count in zip(self.block_firsts, self.block_counts):
+        for first, count in zip(self.block_firsts, self.block_counts, strict=True):
             if count == 1:
                 yield first
             else:
                 yield from range(first, first + count * block_size, block_size)
 
-    def fold_statistics(self, counters: List[int], blocks: set, taken_pcs: set) -> None:
+    def fold_statistics(
+        self, counters: List[int], blocks: Set[int], taken_pcs: Set[int]
+    ) -> None:
         """Fold this trace's regions into running statistics accumulators.
 
         ``counters`` is a mutable 9-slot list of the additive counts
@@ -294,7 +318,7 @@ class PackedTrace:
             _KIND_TO_CODE[BranchKind.INDIRECT_CALL],
             _KIND_TO_CODE[BranchKind.RETURN],
         )
-        for branch_pc, code, taken in zip(self.branch_pcs, self.kinds, self.takens):
+        for branch_pc, code, taken in zip(self.branch_pcs, self.kinds, self.takens, strict=True):
             if branch_pc == NO_VALUE:
                 continue
             counters[2] += 1
@@ -312,7 +336,7 @@ class PackedTrace:
                 counters[3] += 1
                 taken_pcs.add(branch_pc)
 
-    def statistics_tuple(self):
+    def statistics_tuple(self) -> Tuple[int, ...]:
         """Aggregate counters in one columnar pass.
 
         Returns the raw counter tuple ``(instructions, regions, branches,
@@ -329,15 +353,15 @@ class PackedTrace:
             return self._statistics_tuple_numpy()
         return self.statistics_tuple_reference()
 
-    def statistics_tuple_reference(self):
+    def statistics_tuple_reference(self) -> Tuple[int, ...]:
         """The pure-``array`` statistics pass (the vectorized path's oracle)."""
         counters = [0] * 9
-        blocks: set = set()
-        taken_pcs: set = set()
+        blocks: Set[int] = set()
+        taken_pcs: Set[int] = set()
         self.fold_statistics(counters, blocks, taken_pcs)
         return tuple(counters) + (len(blocks), len(taken_pcs))
 
-    def _statistics_tuple_numpy(self):
+    def _statistics_tuple_numpy(self) -> Tuple[int, ...]:
         np = _np
         branch_pcs = np.frombuffer(self.branch_pcs, dtype=np.int64)
         kinds = np.frombuffer(self.kinds, dtype=np.int8)
@@ -388,7 +412,7 @@ class PackedTrace:
     # On-disk form
     # ------------------------------------------------------------------ #
 
-    def save(self, path, chunk_regions: int = 1 << 18) -> None:
+    def save(self, path: Union[str, Path], chunk_regions: int = 1 << 18) -> None:
         """Write the trace to ``path`` in the chunked binary format."""
         save_chunks(path, self.name, self._chunks(chunk_regions))
 
@@ -400,7 +424,7 @@ class PackedTrace:
             yield self.slice(start, start + chunk_regions)
 
     @classmethod
-    def load(cls, path) -> "PackedTrace":
+    def load(cls, path: Union[str, Path]) -> "PackedTrace":
         return load_packed(path)
 
 
@@ -408,14 +432,16 @@ def _write_chunk(handle: IO[bytes], chunk: PackedTrace) -> Tuple[int, int]:
     handle.write(_CHUNK_MARKER.pack(1))
     handle.write(_U64.pack(len(chunk)))
     for attr, _ in _COLUMNS:
-        column: array = getattr(chunk, attr)
+        column: array[int] = getattr(chunk, attr)
         raw = column.tobytes()
         handle.write(_U64.pack(len(raw)))
         handle.write(raw)
     return len(chunk), chunk.instruction_count
 
 
-def save_chunks(path, name: str, chunks: Iterable[PackedTrace]) -> None:
+def save_chunks(
+    path: Union[str, Path], name: str, chunks: Iterable[PackedTrace]
+) -> None:
     """Stream packed chunks to ``path``; totals go in the trailer.
 
     This is the larger-than-memory write path: each chunk is written and
@@ -448,7 +474,7 @@ def _read_exact(handle: IO[bytes], size: int) -> bytes:
 def _unpickle_packed(name: str, raw_columns: Tuple[bytes, ...]) -> PackedTrace:
     """Rebuild a pickled :class:`PackedTrace` as heap arrays."""
     columns = []
-    for (_, typecode), raw in zip(_COLUMNS, raw_columns):
+    for (_, typecode), raw in zip(_COLUMNS, raw_columns, strict=True):
         column = array(typecode)
         column.frombytes(raw)
         columns.append(column)
@@ -464,7 +490,7 @@ class _MappedReader:
         self.view = view
         self.offset = 0
 
-    def unpack(self, fmt: struct.Struct) -> tuple:
+    def unpack(self, fmt: struct.Struct) -> Tuple[Any, ...]:
         end = self.offset + fmt.size
         if end > len(self.view):
             raise ValueError("truncated packed trace file")
@@ -481,7 +507,7 @@ class _MappedReader:
         return chunk
 
 
-def _load_packed_mapped(path) -> Optional[PackedTrace]:
+def _load_packed_mapped(path: Union[str, Path]) -> Optional[PackedTrace]:
     """Zero-copy loader: columns become memoryviews over an mmap of ``path``.
 
     Only single-chunk, native-byte-order artifacts can be mapped (a column
@@ -548,7 +574,7 @@ def _load_packed_mapped(path) -> Optional[PackedTrace]:
     return trace
 
 
-def load_packed(path, mmap: bool = False) -> PackedTrace:
+def load_packed(path: Union[str, Path], mmap: bool = False) -> PackedTrace:
     """Read a packed trace written by :func:`save_chunks`/:meth:`~PackedTrace.save`.
 
     With ``mmap=True`` the columns of a single-chunk, native-byte-order
@@ -648,7 +674,7 @@ class PackedTraceBuilder:
         if self._buffered >= self.chunk_regions:
             self._flush()
 
-    def append_record(self, record) -> None:
+    def append_record(self, record: "FetchRecord") -> None:
         """Append a :class:`~repro.workloads.trace.FetchRecord` (view-path compat)."""
         branch_pc = record.branch_pc if record.branch_pc is not None else NO_VALUE
         target = record.target if record.target is not None else NO_VALUE
@@ -663,7 +689,7 @@ class PackedTraceBuilder:
         )
 
     def _flush(self) -> None:
-        for column, buffer in zip(self._columns, self._buffers):
+        for column, buffer in zip(self._columns, self._buffers, strict=True):
             column.extend(buffer)
             del buffer[:]
         self._buffered = 0

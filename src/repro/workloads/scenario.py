@@ -211,7 +211,7 @@ class Scenario:
         counts = _deal_cores([entry.weight for entry in self.entries], cores)
         starved = [
             entry.profile_name
-            for entry, count in zip(self.entries, counts) if count == 0
+            for entry, count in zip(self.entries, counts, strict=True) if count == 0
         ]
         if starved:
             raise ValueError(
@@ -221,7 +221,7 @@ class Scenario:
             )
         occurrences: Dict[WorkloadProfile, int] = {}
         assignments: List[CoreWorkload] = []
-        for (profile, entry), count in zip(resolved, counts):
+        for (profile, entry), count in zip(resolved, counts, strict=True):
             instructions = (
                 entry.instructions
                 or instructions_per_core

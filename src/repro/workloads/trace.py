@@ -17,7 +17,18 @@ never pay for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    overload,
+)
 
 from repro.isa.instruction import (
     BLOCK_SIZE_BYTES,
@@ -156,7 +167,15 @@ class RecordView(Sequence[FetchRecord]):
             next_pc=packed.next_pcs[index],
         )
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> FetchRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[FetchRecord]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[FetchRecord, List[FetchRecord]]:
         if isinstance(index, slice):
             return [self._record(i) for i in range(*index.indices(len(self)))]
         if index < 0:
@@ -175,6 +194,7 @@ class RecordView(Sequence[FetchRecord]):
             packed.takens,
             packed.targets,
             packed.next_pcs,
+            strict=True,
         ):
             yield FetchRecord(
                 start=start,
@@ -261,7 +281,8 @@ class Trace:
         """(branch_pc, actual_target) pairs for every taken branch."""
         packed = self._packed
         for branch_pc, taken, next_pc in zip(
-            packed.branch_pcs, packed.takens, packed.next_pcs
+            packed.branch_pcs, packed.takens, packed.next_pcs,
+            strict=True,
         ):
             if branch_pc != NO_VALUE and taken:
                 yield branch_pc, next_pc
@@ -346,7 +367,7 @@ class Trace:
         dynamic_counts: List[int] = []
         current_block: Optional[int] = None
         current_branches: Set[int] = set()
-        for branch_pc, taken in zip(packed.branch_pcs, packed.takens):
+        for branch_pc, taken in zip(packed.branch_pcs, packed.takens, strict=True):
             if branch_pc == NO_VALUE:
                 continue
             branch_block = block_address(branch_pc)

@@ -1,0 +1,11 @@
+"""Negative control: nothing here violates any rule."""
+
+from repro.staticcheck.markers import hot_loop
+
+
+@hot_loop
+def hot_sum(values: list) -> int:
+    total = 0
+    for value in values:
+        total += value
+    return total

@@ -1,0 +1,14 @@
+"""R001 fixture: allocation inside a @hot_loop steady state."""
+
+from repro.staticcheck.markers import hot_loop
+
+
+@hot_loop
+def hot_kernel(records: list) -> int:
+    # Prelude allocation is fine — hoisting is the discipline.
+    scratch = {"count": 0}
+    total = 0
+    for record in records:
+        window = [record, record]  # seeded violation: list display per iteration
+        total += len(window) + scratch["count"]
+    return total

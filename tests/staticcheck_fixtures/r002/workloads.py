@@ -1,0 +1,20 @@
+"""R002 fixture: nondeterminism in (fixture) trace/seed code."""
+
+import random
+import time
+
+
+def deal_seeds(count: int) -> list:
+    # seeded violation: the module-level RNG is unseeded.
+    return [random.randint(0, 1 << 31) for _ in range(count)]
+
+
+def stamp_trace(trace: dict) -> dict:
+    # seeded violation: wall clock flows into the artifact.
+    trace["generated_at"] = time.time()
+    return trace
+
+
+def fan_out(cores: set) -> list:
+    # seeded violation: set iteration order is hash order.
+    return [core for core in {c for c in cores}]

@@ -1,0 +1,14 @@
+"""R003 fixture: a tracked dataclass field the cache key never sees."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    name: str
+    btb: str
+    secret_knob: int = 0  # seeded violation: never reaches cell_key
+
+
+def cell_key(spec: "DesignSpec") -> dict:
+    return {"name": spec.name, "btb": spec.btb}

@@ -1,0 +1,11 @@
+"""R004 fixture: a raw memoryview shipped across a pickle boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def ship_view(payload: bytes, worker) -> object:
+    view = memoryview(payload)
+    with ProcessPoolExecutor() as pool:
+        # seeded violation: the view cannot pickle.
+        future = pool.submit(worker, view)
+    return future.result()

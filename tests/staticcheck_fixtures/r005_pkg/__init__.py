@@ -1,0 +1,1 @@
+"""R005 fixture package: forgets to import its registering module."""

@@ -1,0 +1,9 @@
+"""Seeded violation: registers a component, but the package __init__
+never imports this module, so the registration can never run."""
+
+from repro.registry import BTB_REGISTRY
+
+
+@BTB_REGISTRY.register("fixture_widget")
+def build_widget(ctx, **params):
+    return None

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from repro.__main__ import main
 from repro.workloads import load_packed
@@ -261,3 +262,60 @@ class TestSweepScenarios:
         assert main(args) == 0
         payload = json.loads(capsys.readouterr().out)
         assert list(payload["reports"]) == ["consolidated_oltp_dss"]
+
+
+class TestLintCommand:
+    FIXTURES = Path(__file__).resolve().parent / "staticcheck_fixtures"
+
+    def test_default_target_is_the_installed_package(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_fixture_exits_nonzero(self, capsys):
+        code = main(["lint", str(self.FIXTURES / "r001_hot_alloc.py")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "R001" in captured.out
+        assert "finding(s)" in captured.out
+
+    def test_json_schema_is_stable(self, capsys):
+        assert main(["lint", "--json", str(self.FIXTURES / "r002")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"schema", "count", "findings"}
+        assert payload["schema"] == 1
+        assert payload["count"] == len(payload["findings"]) > 0
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "symbol", "message"}
+        # Stable ordering: a second run emits the identical payload.
+        assert main(["lint", "--json", str(self.FIXTURES / "r002")]) == 1
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        target = str(self.FIXTURES / "r004")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline), target]) == 0
+        assert "wrote 1 suppression(s)" in capsys.readouterr().out
+        # With the baseline applied the same target is clean (exit 0).
+        assert main(["lint", "--baseline", str(baseline), target]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "1 baselined" in out
+
+    def test_rule_selection_and_listing(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in listing
+        # A rule filter that skips the seeded violation reports clean.
+        code = main([
+            "lint", str(self.FIXTURES / "r001_hot_alloc.py"), "--rules", "R002",
+        ])
+        assert code == 0
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["lint", "--rules", "R999"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_unreadable_baseline_is_a_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["lint", "--baseline", str(missing)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err

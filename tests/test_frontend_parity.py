@@ -53,7 +53,7 @@ class TestPackedRecordParity:
 
         base = 0x4000_0000
         records = []
-        for repeat in range(40):
+        for _repeat in range(40):
             records.append(FetchRecord(
                 start=base, instruction_count=4, branch_pc=base + 12,
                 kind=None, taken=True, target=base + 0x400, next_pc=base + 0x400,

@@ -29,7 +29,7 @@ class TestDesignOrdering:
     def test_ideal_is_best(self, outcomes):
         base = outcomes["baseline"].result
         ideal_speedup = outcomes["ideal"].result.speedup_over(base)
-        for name, outcome in outcomes.items():
+        for outcome in outcomes.values():
             assert outcome.result.speedup_over(base) <= ideal_speedup + 1e-9
 
     def test_confluence_beats_baseline_and_fdp(self, outcomes):

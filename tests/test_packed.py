@@ -87,7 +87,7 @@ class TestPackedBuilder:
     def test_records_round_trip_through_columns(self, tiny_trace):
         packed = pack_records(tiny_trace.records, name="copy")
         assert len(packed) == len(tiny_trace)
-        assert all(a == b for a, b in zip(Trace.from_packed(packed), tiny_trace))
+        assert all(a == b for a, b in zip(Trace.from_packed(packed), tiny_trace, strict=True))
 
     def test_chunked_flush_is_equivalent(self, tiny_trace):
         records = list(tiny_trace.records)[:500]
@@ -102,7 +102,7 @@ class TestPackedBuilder:
 
     def test_block_span_columns_match_record_blocks(self, tiny_trace):
         packed = tiny_trace.packed
-        for index, record in zip(range(300), tiny_trace.records):
+        for index, record in zip(range(300), tiny_trace.records, strict=False):
             assert packed.region_blocks(index) == record.blocks()
             assert packed.block_firsts[index] == block_address(record.start)
 
@@ -218,7 +218,7 @@ class TestBlockStream:
             block, block + BLOCK_SIZE_BYTES, block,
         ]
         # No consecutive duplicates, by construction.
-        assert all(a != b for a, b in zip(stream, stream[1:]))
+        assert all(a != b for a, b in zip(stream, stream[1:], strict=False))
 
     def test_packed_and_view_streams_agree(self, tiny_trace):
         view_stream = []
@@ -257,7 +257,7 @@ class TestHeadAndConcatenate:
         via_view = Trace(list(tiny_trace.records)[:64], name="x")
         via_packed = tiny_trace.head(64)
         assert via_view.statistics() == via_packed.statistics()
-        assert all(a == b for a, b in zip(via_view, via_packed))
+        assert all(a == b for a, b in zip(via_view, via_packed, strict=True))
 
 
 class TestRecordView:
@@ -283,7 +283,7 @@ class TestSaveLoad:
         assert reloaded.name == tiny_trace.name
         assert len(reloaded) == len(tiny_trace)
         assert Trace.from_packed(reloaded).statistics() == tiny_trace.statistics()
-        assert all(a == b for a, b in zip(Trace.from_packed(reloaded), tiny_trace))
+        assert all(a == b for a, b in zip(Trace.from_packed(reloaded), tiny_trace, strict=True))
 
     def test_chunked_write_equals_single_chunk(self, tiny_trace, tmp_path):
         one = tmp_path / "one.trace"
@@ -299,7 +299,7 @@ class TestSaveLoad:
         streamed = Trace.from_packed(load_packed(path))
         in_memory = generate_trace(tiny_program, 8_000, seed=11)
         assert len(streamed) == len(in_memory)
-        assert all(a == b for a, b in zip(streamed, in_memory))
+        assert all(a == b for a, b in zip(streamed, in_memory, strict=True))
 
     def test_truncated_file_rejected(self, tiny_trace, tmp_path):
         path = tmp_path / "t.trace"

@@ -245,7 +245,7 @@ class TestShiftPrefetcher:
         recorder = ShiftPrefetcher(history, record_history=True)
         consumer = ShiftPrefetcher(history, record_history=False)
         l1i = InstructionCache()
-        for index, record in enumerate(records):
+        for index in range(len(records)):
             recorder.prefetch_targets(self._context(records, index, l1i, None))
         targets = list(
             consumer.prefetch_targets(self._context(records, 0, l1i, records[0].blocks()[0]))
@@ -258,7 +258,7 @@ class TestShiftPrefetcher:
                                            divergence_threshold=1))
         prefetcher = ShiftPrefetcher(history, config=history.config)
         l1i = InstructionCache()
-        for index, record in enumerate(records):
+        for index in range(len(records)):
             prefetcher.prefetch_targets(self._context(records, index, l1i, None))
         # Misses on blocks unrelated to the recorded chain force re-anchoring
         # attempts (which fail: those blocks have no history).

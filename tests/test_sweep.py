@@ -161,7 +161,7 @@ class TestTraceStore:
         assert loaded is not None
         assert loaded.name == "renamed"  # per-core names override the artifact's
         assert len(loaded) == len(generated)
-        assert all(a == b for a, b in zip(loaded.records, generated.records))
+        assert all(a == b for a, b in zip(loaded.records, generated.records, strict=True))
 
     def test_corrupt_artifact_is_a_miss(self, tmp_path):
         store = TraceStore(tmp_path)
@@ -186,7 +186,7 @@ class TestTraceStore:
         heap = heap_store.load(profile, 5_000, 42)
         assert heap is not None and not heap.packed.mapped
         assert heap_store.mapped == 0
-        assert all(a == b for a, b in zip(loaded.records, heap.records))
+        assert all(a == b for a, b in zip(loaded.records, heap.records, strict=True))
 
 
 class TestTraceStorePrune:

@@ -95,7 +95,7 @@ class TestSynthesis:
     def test_basic_blocks_are_contiguous(self, tiny_program):
         for function in tiny_program.cfg.functions:
             blocks = function.basic_blocks
-            for previous, current in zip(blocks, blocks[1:]):
+            for previous, current in zip(blocks, blocks[1:], strict=False):
                 assert previous.end == current.start
 
     def test_direct_branch_targets_are_block_starts(self, tiny_program):
@@ -157,12 +157,12 @@ class TestTraceGeneration:
         first = generate_trace(tiny_program, 5_000, seed=9)
         second = generate_trace(tiny_program, 5_000, seed=9)
         assert len(first) == len(second)
-        assert all(a == b for a, b in zip(first.records, second.records))
+        assert all(a == b for a, b in zip(first.records, second.records, strict=True))
 
     def test_different_seeds_differ(self, tiny_program):
         first = generate_trace(tiny_program, 5_000, seed=1)
         second = generate_trace(tiny_program, 5_000, seed=2)
-        assert any(a != b for a, b in zip(first.records, second.records))
+        assert any(a != b for a, b in zip(first.records, second.records, strict=True))
 
     def test_records_follow_control_flow(self, tiny_trace):
         for record in list(tiny_trace.records)[:2000]:
