@@ -1,4 +1,4 @@
-"""Command-line entry points: ``python -m repro sweep`` / ``trace`` / ``bench``.
+"""Command-line entry points: ``python -m repro sweep``/``trace``/``bench``/....
 
 The ``sweep`` subcommand runs a (profile x design) grid through
 :mod:`repro.sweep` — fanned out across worker processes, served from the
@@ -13,11 +13,16 @@ round-trip guard), ``--info`` describes an existing artifact, and
 ``--prune BYTES`` LRU-evicts cold artifacts until the shared store fits the
 byte budget.
 
-The ``bench`` subcommand measures the packed simulation kernel
+The ``bench`` subcommand measures the simulation kernel
 (:mod:`repro.perfbench`) and emits one stable-schema JSON trajectory point;
-the committed ``BENCH_kernel.json`` tracks it PR over PR, and
-``--expect-schema`` lets CI fail on schema drift without ever failing on
-timing.
+the committed ``BENCH_kernel.json`` tracks the history PR over PR (``--json``
+*appends* a point), ``--expect-schema`` lets CI fail on schema drift without
+failing on raw timing, and ``--compare PATH --tolerance X`` fails when
+regions/sec regresses beyond the tolerance against a recorded point.
+
+The ``backends`` subcommand lists the registered simulation backends
+(:mod:`repro.backends`); every ``sweep``/``bench`` invocation picks one with
+``--backend`` (default ``scalar``, the zero-allocation columnar loop).
 
 Examples::
 
@@ -45,7 +50,13 @@ Examples::
     # record a perf trajectory point / check a smoke run against it
     python -m repro bench --json BENCH_kernel.json
     REPRO_BENCH_SMOKE=1 python -m repro bench --json /tmp/bench.json \\
-        --expect-schema BENCH_kernel.json
+        --expect-schema BENCH_kernel.json --compare BENCH_kernel.json \\
+        --tolerance 0.85
+
+    # list the registered simulation backends / sweep on the oracle loop
+    python -m repro backends
+    python -m repro sweep --backend reference --profiles oltp_db2 \\
+        --designs baseline --scale 0.1 --cores 2
 
 The result cache lives under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro``); ``--cache-dir`` overrides it and ``--no-cache``
@@ -63,6 +74,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Set
 
 from repro.analysis.reporting import format_table
 from repro.api import reports_from_sweep
+from repro.backends import DEFAULT_BACKEND
 from repro.core.designs import DESIGN_POINTS
 from repro.sweep import (
     ResultCache,
@@ -121,6 +133,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-core trace seeds are base + core (default 100)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="worker processes for grid cells (default: serial)")
+    sweep.add_argument("--backend", default=DEFAULT_BACKEND, metavar="NAME",
+                       help="simulation backend for every cell (see "
+                            "'python -m repro backends'; default "
+                            f"{DEFAULT_BACKEND})")
     sweep.add_argument("--baseline", default=None,
                        help="speedup reference design (default: 'baseline' when "
                             "present, else the first design)")
@@ -198,12 +214,40 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=None,
                        help="timing repeats per design, best-of reported "
                             "(default: operating point)")
+    bench.add_argument("--backend", default=DEFAULT_BACKEND, metavar="NAME",
+                       help="simulation backend to time per design (every "
+                            "registered backend is also timed on the first "
+                            f"design; default {DEFAULT_BACKEND})")
     bench.add_argument("--json", default=None, metavar="PATH", dest="json_out",
-                       help="write the trajectory point to PATH as JSON")
+                       help="append this run to the trajectory file at PATH "
+                            "(created when missing)")
     bench.add_argument("--expect-schema", default=None, metavar="PATH",
                        help="fail (exit 1) if this run's JSON schema drifts "
-                            "from the trajectory point at PATH")
+                            "from the latest trajectory point at PATH")
+    bench.add_argument("--compare", default=None, metavar="PATH",
+                       help="fail (exit 1) if regions/sec regresses beyond "
+                            "--tolerance against the latest trajectory point "
+                            "at PATH")
+    bench.add_argument("--tolerance", type=float, default=0.85,
+                       help="minimum fresh/recorded regions-per-sec ratio "
+                            "for --compare (default 0.85)")
     bench.set_defaults(handler=_run_bench_command)
+
+    backends = commands.add_parser(
+        "backends",
+        help="list the registered simulation backends",
+        description=(
+            "List every registered simulation backend (the scalar columnar "
+            "hot loop, the record-view reference oracle, and anything user "
+            "code registered). All backends are bit-exact with the "
+            "reference oracle; tests/test_frontend_parity.py pins each one."
+        ),
+    )
+    backends.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the listing as JSON instead of text",
+    )
+    backends.set_defaults(handler=_run_backends_command)
 
     lint = commands.add_parser(
         "lint",
@@ -275,6 +319,7 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             cache=cache,
             trace_store=trace_store,
             scenarios=args.scenarios,
+            backend=args.backend,
         )
     except KeyError as error:
         # Unknown profile/scenario/design names arrive as KeyErrors with a
@@ -502,33 +547,36 @@ def _run_trace_command(args: argparse.Namespace) -> int:
 
 def _run_bench_command(args: argparse.Namespace) -> int:
     from repro.perfbench import (
+        append_trajectory_point,
+        compare_to_reference,
         default_bench_settings,
         format_bench_report,
+        format_comparison,
         load_trajectory_point,
         run_kernel_benchmark,
         schemas_match,
     )
 
     settings = default_bench_settings()
-    payload = run_kernel_benchmark(
-        profile_name=args.profile,
-        scale=args.scale if args.scale is not None else settings["scale"],
-        instructions=(
-            args.instructions
-            if args.instructions is not None
-            else settings["instructions"]
-        ),
-        seed=args.seed,
-        designs=args.designs,
-        repeats=args.repeats if args.repeats is not None else settings["repeats"],
-    )
+    try:
+        payload = run_kernel_benchmark(
+            profile_name=args.profile,
+            scale=args.scale if args.scale is not None else settings["scale"],
+            instructions=(
+                args.instructions
+                if args.instructions is not None
+                else settings["instructions"]
+            ),
+            seed=args.seed,
+            designs=args.designs,
+            repeats=args.repeats if args.repeats is not None else settings["repeats"],
+            backend=args.backend,
+        )
+    except KeyError as error:
+        # Unknown profile/design/backend names; usage errors exit 2.
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
     print(format_bench_report(payload))
-
-    if args.json_out is not None:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json_out}")
 
     if args.expect_schema is not None:
         try:
@@ -546,6 +594,65 @@ def _run_bench_command(args: argparse.Namespace) -> int:
             )
             return 1
         print(f"--expect-schema: schema matches {args.expect_schema}")
+
+    if args.compare is not None:
+        try:
+            reference = load_trajectory_point(args.compare)
+            rows = compare_to_reference(payload, reference, args.tolerance)
+        except (OSError, ValueError) as error:
+            print(f"--compare: cannot compare against {args.compare}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(format_comparison(rows, args.tolerance))
+        if not all(row["ok"] for row in rows):
+            print(
+                f"--compare: regions/sec regressed beyond tolerance "
+                f"{args.tolerance:g} of {args.compare}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"--compare: within tolerance {args.tolerance:g} of {args.compare}")
+
+    # Append last so ``--compare PATH --json PATH`` checks against the
+    # *previous* point, not the one this run just wrote — and so a failing
+    # check never records the regressed run into the trajectory.
+    if args.json_out is not None:
+        try:
+            count = append_trajectory_point(args.json_out, payload)
+        except (OSError, ValueError) as error:
+            print(f"--json: cannot append to {args.json_out}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.json_out} ({count} trajectory "
+              f"point{'s' if count != 1 else ''})")
+
+    return 0
+
+
+def _run_backends_command(args: argparse.Namespace) -> int:
+    from repro.backends import backend_names, get_backend
+
+    rows = []
+    for name in backend_names():
+        impl = get_backend(name)
+        doc = (type(impl).__doc__ or "").strip().splitlines()
+        rows.append({
+            "name": name,
+            "default": name == DEFAULT_BACKEND,
+            "trace form": impl.trace_form,
+            "summary": doc[0] if doc else "",
+        })
+
+    if args.as_json:
+        print(json.dumps({"backends": rows}, indent=2, sort_keys=True))
+        return 0
+
+    for row in rows:
+        marker = " (default)" if row["default"] else ""
+        print(f"{row['name']}{marker}")
+        print(f"    trace form: {row['trace form']}")
+        if row["summary"]:
+            print(f"    {row['summary']}")
     return 0
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.backends.base import DEFAULT_BACKEND, get_backend
 from repro.core.cmp import ChipMultiprocessor
 from repro.core.designs import DesignSpec, resolve_design
 from repro.core.frontend import FrontendConfig
@@ -188,6 +189,11 @@ class Session:
             ``trace_seed_base``) or a pre-bound assignment.  When given it
             replaces ``profile``; ``session.profile`` is then ``None`` and
             the report is keyed by the scenario's name.
+        backend: simulation backend name for every run (a
+            :data:`repro.backends.BACKEND_REGISTRY` entry; default
+            ``"scalar"``, the zero-allocation columnar loop).  The name
+            joins every cell's cache key, so sessions on different backends
+            never share cache entries.
     """
 
     def __init__(
@@ -202,7 +208,10 @@ class Session:
         cache: Union[None, bool, str, Path, ResultCache] = None,
         trace_store: Union[None, bool, str, Path, TraceStore] = None,
         scenario: Union[None, str, Scenario, BoundScenario] = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
+        # Fail on unknown backend names at construction, not mid-run.
+        get_backend(backend)
         if scenario is not None:
             if not isinstance(scenario, BoundScenario):
                 scenario = resolve_scenario(scenario).bind(
@@ -227,6 +236,7 @@ class Session:
                 instructions_per_core or profile.recommended_trace_instructions
             )
         self.scale = scale
+        self.backend = backend
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
         self.workers = workers
@@ -274,6 +284,7 @@ class Session:
                     self.trace_seed_base,
                     self.frontend_config,
                     trace_store=self.trace_store,
+                    backend=self.backend,
                 )
             elif self.scenario is not None:
                 self._cmp = ChipMultiprocessor(
@@ -282,6 +293,7 @@ class Session:
                     trace_store=self.trace_store,
                     frontend_config=self.frontend_config,
                     trace_seed_base=self.trace_seed_base,
+                    backend=self.backend,
                 )
             else:
                 # A session-level core-parallel default is baked into the
@@ -294,6 +306,7 @@ class Session:
                     trace_seed_base=self.trace_seed_base,
                     workers=self.workers,
                     trace_store=self.trace_store,
+                    backend=self.backend,
                 )
         return self._cmp
 
@@ -330,6 +343,7 @@ class Session:
                 instructions_per_core=self.instructions_per_core,
                 trace_seed_base=self.trace_seed_base,
                 frontend_config=self.frontend_config,
+                backend=self.backend,
             )
             for spec in specs
         ]
@@ -391,8 +405,8 @@ def run_grid(
     result cache (see :mod:`repro.sweep`).  ``scenarios=[...]`` adds
     heterogeneous consolidation rows (``profiles`` may then be empty); the
     remaining keyword arguments (``scale``, ``cores``,
-    ``instructions_per_core``, ``frontend_config``, ``trace_seed_base``)
-    apply to every cell.  Returns ``{workload name: RunReport}``, identical
+    ``instructions_per_core``, ``frontend_config``, ``trace_seed_base``,
+    ``backend``) apply to every cell.  Returns ``{workload name: RunReport}``, identical
     to running one serial :class:`Session` per workload.
     """
     outcome = run_sweep(profiles, designs, **sweep_kwargs)

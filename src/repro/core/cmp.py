@@ -54,10 +54,13 @@ from repro.workloads.trace import Trace
 if TYPE_CHECKING:  # import cycle guard: sweep.py imports this module
     from multiprocessing.context import BaseContext
 
+    from repro.backends.base import SimBackend
     from repro.sweep import TraceStore
 
 #: One replaying core's pickled work order: (spec, program, inline trace,
-#: artifact path, trace name, shared-history snapshot, LLC geometry, config).
+#: artifact path, trace name, shared-history snapshot, LLC geometry, config,
+#: simulation backend).  Registered backends travel as their *name*; a
+#: stateless ad-hoc instance pickles by reference and works too.
 _ReplayJob = Tuple[
     DesignSpec,
     SyntheticProgram,
@@ -67,6 +70,7 @@ _ReplayJob = Tuple[
     Dict[str, Any],
     LLCConfig,
     Optional[FrontendConfig],
+    Union[str, "SimBackend", None],
 ]
 
 
@@ -172,7 +176,7 @@ def _replay_core(job: _ReplayJob) -> FrontendResult:
     instead of receiving pickled heap columns.
     """
     (spec, program, trace, trace_path, trace_name,
-     history_state, llc_config, frontend_config) = job
+     history_state, llc_config, frontend_config, backend) = job
     if trace is None:
         trace = Trace.from_packed(load_packed(trace_path, mmap=True), name=trace_name)
     llc = SharedLLC(llc_config)
@@ -185,7 +189,7 @@ def _replay_core(job: _ReplayJob) -> FrontendResult:
         frontend_config=frontend_config,
         record_history=False,
     )
-    return simulator.run(trace)
+    return simulator.run(trace, backend=backend)
 
 
 def _fork_context() -> Optional["BaseContext"]:
@@ -225,6 +229,7 @@ class ChipMultiprocessor:
         workers: Optional[int] = None,
         trace_store: Optional["TraceStore"] = None,
         scenario: Union[None, Scenario, BoundScenario] = None,
+        backend: Union[str, "SimBackend", None] = None,
     ) -> None:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive when given")
@@ -275,6 +280,10 @@ class ChipMultiprocessor:
         self.frontend_config = frontend_config
         self.trace_seed_base = trace_seed_base
         self.workers = workers
+        #: Default simulation backend for every core (a registry name, a
+        #: ready backend instance, or ``None`` for the stack default);
+        #: :meth:`run_design` accepts a per-run override.
+        self.backend = backend
         #: Optional :class:`repro.sweep.TraceStore`: per-core traces become
         #: shared on-disk artifacts, loaded instead of re-generated — and the
         #: core-level fan-out ships their *paths* to workers (zero-copy).
@@ -346,6 +355,7 @@ class ChipMultiprocessor:
         self,
         design: Union[str, DesignSpec],
         workers: Optional[int] = None,
+        backend: Union[str, "SimBackend", None] = None,
     ) -> CMPResult:
         """Run every core under ``design`` with per-profile shared histories.
 
@@ -353,10 +363,13 @@ class ChipMultiprocessor:
         history in-process; every other core of the profile replays it.
         ``workers`` (or the constructor's default) > 1 fans the replaying
         cores out across processes; the default stays serial and the results
-        are identical either way.
+        are identical either way.  ``backend`` (or the constructor's default)
+        selects the simulation loop for every core, recorded and replayed
+        alike.
         """
         spec = resolve_design(design)
         workers = workers if workers is not None else self.workers
+        backend = backend if backend is not None else self.backend
         llc = SharedLLC(self._llc_config())
         traces = self._core_traces()
         paths = self._trace_paths or [None] * len(traces)
@@ -396,7 +409,7 @@ class ChipMultiprocessor:
             )
             if result.area is None:
                 result.area = area
-            core_results[index] = simulator.run(traces[index])
+            core_results[index] = simulator.run(traces[index], backend=backend)
 
         if replayers and workers is not None and workers > 1:
             # Each profile's history is immutable once its recorder finishes;
@@ -419,6 +432,7 @@ class ChipMultiprocessor:
                     snapshots[workload.profile],
                     self._llc_config(),
                     self.frontend_config,
+                    backend,
                 ))
             pool_size = min(workers, len(jobs))
             with ProcessPoolExecutor(
@@ -437,7 +451,7 @@ class ChipMultiprocessor:
                     frontend_config=self.frontend_config,
                     record_history=False,
                 )
-                core_results[index] = simulator.run(traces[index])
+                core_results[index] = simulator.run(traces[index], backend=backend)
 
         # Every core index was filled (replayed or simulated inline); the
         # comprehension narrows List[Optional[...]] for the result list.
@@ -451,6 +465,7 @@ class ChipMultiprocessor:
         self,
         designs: Iterable[Union[str, DesignSpec]],
         workers: Optional[int] = None,
+        backend: Union[str, "SimBackend", None] = None,
     ) -> Dict[str, CMPResult]:
         """Run a set of design points; returns ``{design name: CMPResult}``.
 
@@ -460,4 +475,7 @@ class ChipMultiprocessor:
         """
         specs = [resolve_design(design) for design in designs]
         ensure_unique_names("design", [spec.name for spec in specs])
-        return {spec.name: self.run_design(spec, workers=workers) for spec in specs}
+        return {
+            spec.name: self.run_design(spec, workers=workers, backend=backend)
+            for spec in specs
+        }

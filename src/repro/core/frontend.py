@@ -23,21 +23,18 @@ come from the frontend terms, which is what this model reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, TYPE_CHECKING, Union
 
-from repro.branch.unit import BranchPredictionUnit, PredictionSlot
+from repro.branch.unit import BranchPredictionUnit
 from repro.caches.l1i import InstructionCache
 from repro.caches.llc import SharedLLC
 from repro.core.confluence import Confluence
 from repro.core.metrics import mpki
-from repro.isa.instruction import (
-    BLOCK_SIZE_BYTES,
-    INSTRUCTION_SIZE_BYTES,
-)
-from repro.prefetch.base import InstructionPrefetcher, NullPrefetcher, PrefetchContext
-from repro.staticcheck.markers import hot_loop
-from repro.workloads.packed import KIND_CODES, NO_VALUE
-from repro.workloads.trace import FetchRecord, Trace
+from repro.prefetch.base import InstructionPrefetcher, NullPrefetcher
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.backends.base import SimBackend
 
 
 @dataclass(frozen=True)
@@ -137,6 +134,7 @@ class FrontendSimulator:
         config: Optional[FrontendConfig] = None,
         perfect_l1i: bool = False,
         design_name: str = "frontend",
+        backend: Union[str, "SimBackend", None] = None,
     ) -> None:
         self.bpu = bpu
         # Note: "l1i or InstructionCache()" would silently replace an *empty*
@@ -148,6 +146,10 @@ class FrontendSimulator:
         self.config = config or FrontendConfig()
         self.perfect_l1i = perfect_l1i
         self.design_name = design_name
+        #: Default simulation backend for :meth:`run` — a registry name, a
+        #: ready :class:`~repro.backends.base.SimBackend`, or ``None`` for
+        #: the stack-wide default (``scalar``).
+        self.backend = backend
         #: Prefetched blocks still in flight: block address -> ready cycle.
         self._inflight: Dict[int, float] = {}
         self._cycle: float = 0.0
@@ -160,342 +162,38 @@ class FrontendSimulator:
         self,
         trace: Trace,
         warmup_fraction: Optional[float] = None,
-        use_packed: bool = True,
+        backend: Union[str, "SimBackend", None] = None,
     ) -> FrontendResult:
         """Simulate ``trace``; statistics cover the post-warmup portion.
 
-        When the trace carries its columnar form (every :class:`Trace` does),
-        the packed fast path walks the columns directly; ``use_packed=False``
-        forces the record-view path.  Both produce bit-identical results —
-        the parity test in ``tests/test_frontend_parity.py`` pins this.
+        The simulation loop itself lives in :mod:`repro.backends`; ``backend``
+        selects it — a registry name, a ready
+        :class:`~repro.backends.base.SimBackend`, or ``None`` to use the
+        simulator's configured backend (itself defaulting to ``scalar``, the
+        zero-allocation columnar loop).  Every registered backend produces
+        bit-identical results — the parity suite in
+        ``tests/test_frontend_parity.py`` pins each one against the
+        ``reference`` oracle.
+
+        Raises :class:`ValueError` when the selected backend cannot consume
+        the trace's form (e.g. the ``scalar`` backend on a trace-like object
+        with no ``.packed`` columnar view).  There is deliberately no silent
+        fallback to another backend: a sweep that quietly ran 40x slower —
+        or a benchmark that quietly measured the wrong loop — is worse than
+        an error.
         """
+        from repro.backends.base import resolve_backend
+
         warmup = warmup_fraction if warmup_fraction is not None else self.config.warmup_fraction
-        if use_packed and getattr(trace, "packed", None) is not None:
-            return self._run_packed(trace, warmup)
-        records = trace.records
-        warmup_boundary = int(len(records) * warmup)
-        result = FrontendResult(design=self.design_name, workload=trace.name)
-        llc_latency = self.llc.round_trip_latency_cycles
-
-        for index, record in enumerate(records):
-            measured = index >= warmup_boundary
-            self._simulate_region(records, index, record, llc_latency, result, measured)
-
-        self._finalize(result)
-        return result
-
-    @hot_loop
-    def _run_packed(self, trace: Trace, warmup: float) -> FrontendResult:
-        """Columnar fast loop: one pass over the packed arrays, no records.
-
-        This mirrors :meth:`_simulate_region` operation for operation — same
-        component calls, same accumulation order — so the results are
-        bit-identical; only the Python-level record/attribute overhead is
-        gone.  The loop is also *allocation-free*: one reusable
-        :class:`~repro.branch.unit.PredictionSlot` receives every region's
-        prediction (no ``BranchPrediction``/``BTBLookupResult`` objects on
-        BTBs that override ``lookup_into``), a single
-        :class:`~repro.prefetch.base.PrefetchContext` is mutated per
-        iteration instead of constructed, and designs with no prefetcher
-        (plain :class:`~repro.prefetch.base.NullPrefetcher`) or a perfect
-        L1-I skip the corresponding machinery entirely.
-        """
-        packed = trace.packed
-        records = trace.records  # lazy view, handed to custom prefetchers
-        total = len(packed)
-        warmup_boundary = int(total * warmup)
-        result = FrontendResult(design=self.design_name, workload=trace.name)
-
-        config = self.config
-        base_cpi = config.base_cpi
-        misfetch_penalty = config.misfetch_penalty_cycles
-        direction_penalty = config.direction_mispredict_penalty_cycles
-        llc_latency = self.llc.round_trip_latency_cycles
-        demand_penalty = (
-            self.confluence.demand_fill_penalty_cycles
-            if self.confluence is not None
-            else 0
-        )
-        perfect = self.perfect_l1i
-        bpu = self.bpu
-        predict_into = bpu.predict_region_into
-        resolve = bpu.resolve_region
-        l1i = self.l1i
-        l1i_access = l1i.access
-        l1i_fill = l1i.fill
-        l1i_contains = l1i.contains
-        llc_fetch = self.llc.fetch_instruction_block
-        prefetcher = self.prefetcher
-        prefetch_targets = prefetcher.prefetch_targets
-        max_lead = prefetcher.max_lead_cycles
-        inflight = self._inflight
-        cycle = self._cycle
-
-        # The one prediction scratch the whole loop writes into, and — for
-        # designs that prefetch at all — the one context the prefetcher sees
-        # (index/cycle/demand_miss_block are rewritten per iteration).  A
-        # plain NullPrefetcher never observes anything, so its designs skip
-        # the context and the target loop altogether (a subclass overriding
-        # ``prefetch_targets`` still gets called).
-        slot = PredictionSlot()
-        null_prefetch = type(prefetcher) is NullPrefetcher
-        context = None if null_prefetch else PrefetchContext(
-            records=records,
-            index=0,
-            cycle=0,
-            l1i=l1i,
-            bpu=bpu,
-            demand_miss_block=None,
-            packed=packed,
-        )
-
-        starts = packed.starts
-        instruction_counts = packed.instruction_counts
-        branch_pcs = packed.branch_pcs
-        kinds = packed.kinds
-        takens = packed.takens
-        target_col = packed.targets
-        next_pcs = packed.next_pcs
-        block_firsts = packed.block_firsts
-        block_counts = packed.block_counts
-        block_size = BLOCK_SIZE_BYTES
-        instruction_size = INSTRUCTION_SIZE_BYTES
-        kind_table = KIND_CODES
-
-        for index in range(total):
-            count = instruction_counts[index]
-            raw_branch_pc = branch_pcs[index]
-            taken = bool(takens[index])
-            next_pc = next_pcs[index]
-            if raw_branch_pc == NO_VALUE:
-                branch_pc = None
-                kind = None
-                fallthrough = starts[index] + count * instruction_size
-            else:
-                branch_pc = raw_branch_pc
-                # A branch may still carry no kind (records are permitted to);
-                # the -1 sentinel must decode to None, never wrap the table.
-                code = kinds[index]
-                kind = kind_table[code] if code >= 0 else None
-                fallthrough = raw_branch_pc + instruction_size
-
-            # --- branch prediction ------------------------------------------
-            predict_into(slot, branch_pc, kind, taken, next_pc, fallthrough)
-            btb_bubble = 0
-            if slot.btb_hit and slot.btb_latency_cycles > 1:
-                btb_bubble = slot.btb_latency_cycles - 1
-            misfetch = slot.misfetch
-            direction_miss = not slot.direction_correct and branch_pc is not None
-
-            # --- instruction fetch ------------------------------------------
-            fetch_stall = 0
-            demand_miss_block: Optional[int] = None
-            prefetch_hits = 0
-            misses = 0
-            accesses = block_counts[index]
-            if not perfect:
-                first = block_firsts[index]
-                stop = first + accesses * block_size
-                for block in range(first, stop, block_size):
-                    if l1i_access(block):
-                        if inflight:
-                            ready = inflight.pop(block, None)
-                            if ready is not None:
-                                remaining = max(0.0, ready - cycle)
-                                if max_lead is not None:
-                                    remaining = max(remaining, llc_latency - max_lead)
-                                fetch_stall += int(round(remaining))
-                                prefetch_hits += 1
-                        continue
-                    misses += 1
-                    demand_miss_block = block if demand_miss_block is None else demand_miss_block
-                    fetch_stall += llc_latency + demand_penalty
-                    llc_fetch(block)
-                    l1i_fill(block, demand=True)
-
-            # --- cycle accounting -------------------------------------------
-            cycle += count * base_cpi
-            if misfetch:
-                cycle += misfetch_penalty
-            if direction_miss:
-                cycle += direction_penalty
-            cycle += btb_bubble + fetch_stall
-
-            # --- prefetching ------------------------------------------------
-            issued = 0
-            if not null_prefetch:
-                context.index = index
-                context.cycle = cycle
-                context.demand_miss_block = demand_miss_block
-                for target in prefetch_targets(context):
-                    if perfect:
-                        break
-                    if l1i_contains(target) or target in inflight:
-                        continue
-                    inflight[target] = cycle + llc_latency
-                    llc_fetch(target)
-                    l1i_fill(target, demand=False)
-                    issued += 1
-
-            # --- resolution / training --------------------------------------
-            raw_target = target_col[index]
-            resolve(
-                branch_pc,
-                kind,
-                taken,
-                raw_target if raw_target != NO_VALUE else None,
-                next_pc,
-                fallthrough,
+        impl = resolve_backend(backend if backend is not None else self.backend)
+        if not impl.consumes(trace):
+            raise ValueError(
+                f"backend {impl.name!r} cannot consume trace {trace.name!r}: "
+                f"it requires the {impl.trace_form} trace form, which this "
+                "trace does not provide; pick a backend that matches the "
+                "trace (see repro.backends.backend_names())"
             )
-
-            if index < warmup_boundary:
-                continue
-            result.instructions += count
-            result.fetch_regions += 1
-            result.base_cycles += count * base_cpi
-            result.misfetch_stall_cycles += misfetch_penalty if misfetch else 0
-            result.direction_stall_cycles += direction_penalty if direction_miss else 0
-            result.btb_latency_stall_cycles += btb_bubble
-            result.l1i_stall_cycles += fetch_stall
-            result.misfetches += int(misfetch)
-            if branch_pc is not None and taken:
-                result.btb_taken_lookups += 1
-                if not slot.btb_hit:
-                    result.btb_taken_misses += 1
-            if slot.btb_level in ("l2",):
-                result.second_level_accesses += 1
-            result.l1i_accesses += accesses
-            result.l1i_misses += misses
-            result.l1i_prefetch_hits += prefetch_hits
-            # Counted with the same guarded predicate the stall charge uses:
-            # a branchless region can never report a direction misprediction.
-            result.direction_mispredictions += int(direction_miss)
-            result.prefetches_issued += issued
-
-        self._cycle = cycle
-        self._finalize(result)
-        return result
-
-    def _simulate_region(
-        self,
-        records: Sequence[FetchRecord],
-        index: int,
-        record: FetchRecord,
-        llc_latency: int,
-        result: FrontendResult,
-        measured: bool,
-    ) -> None:
-        config = self.config
-        cycle_start = self._cycle
-
-        # --- branch prediction -------------------------------------------------
-        prediction = self.bpu.predict(record)
-        btb_result = prediction.btb_result
-        btb_bubble = 0
-        if btb_result.hit and btb_result.latency_cycles > 1:
-            btb_bubble = btb_result.latency_cycles - 1
-        # Misfetches (BTB could not supply a predicted-taken target; caught at
-        # decode) and direction mispredictions (wrong steer; caught at
-        # execute) are disjoint by construction: a misfetch requires the
-        # direction prediction to be correct.
-        misfetch = prediction.misfetch
-        direction_miss = (
-            not prediction.direction_correct and record.branch_pc is not None
-        )
-
-        # --- instruction fetch -------------------------------------------------
-        fetch_stall = 0
-        demand_miss_block: Optional[int] = None
-        prefetch_hits = 0
-        misses = 0
-        accesses = 0
-        for block in record.blocks():
-            accesses += 1
-            if self.perfect_l1i:
-                continue
-            if self.l1i.access(block):
-                ready = self._inflight.pop(block, None)
-                if ready is not None:
-                    # The block was installed by a prefetch that is still in
-                    # flight; only the remaining latency (if any) is exposed.
-                    remaining = max(0.0, ready - self._cycle)
-                    max_lead = self.prefetcher.max_lead_cycles
-                    if max_lead is not None:
-                        # Prefetchers with bounded lookahead (FDP) can hide at
-                        # most ``max_lead`` cycles of the round trip.
-                        remaining = max(remaining, llc_latency - max_lead)
-                    fetch_stall += int(round(remaining))
-                    prefetch_hits += 1
-                continue
-            misses += 1
-            demand_miss_block = block if demand_miss_block is None else demand_miss_block
-            stall = llc_latency
-            if self.confluence is not None:
-                stall += self.confluence.demand_fill_penalty_cycles
-            fetch_stall += stall
-            self.llc.fetch_instruction_block(block)
-            self.l1i.fill(block, demand=True)
-
-        # --- cycle accounting --------------------------------------------------
-        self._cycle += record.instruction_count * config.base_cpi
-        if misfetch:
-            self._cycle += config.misfetch_penalty_cycles
-        if direction_miss:
-            self._cycle += config.direction_mispredict_penalty_cycles
-        self._cycle += btb_bubble + fetch_stall
-
-        # --- prefetching -------------------------------------------------------
-        context = PrefetchContext(
-            records=records,
-            index=index,
-            cycle=self._cycle,
-            l1i=self.l1i,
-            bpu=self.bpu,
-            demand_miss_block=demand_miss_block,
-        )
-        issued = 0
-        for target in self.prefetcher.prefetch_targets(context):
-            if self.perfect_l1i:
-                break
-            if self.l1i.contains(target) or target in self._inflight:
-                continue
-            # The block (and, under Confluence, its predecoded branch entries)
-            # is installed now; its *use* before the LLC round trip completes
-            # still pays the remaining latency through the in-flight table.
-            self._inflight[target] = self._cycle + llc_latency
-            self.llc.fetch_instruction_block(target)
-            self.l1i.fill(target, demand=False)
-            issued += 1
-
-        # --- resolution / training ---------------------------------------------
-        self.bpu.resolve(record)
-
-        if not measured:
-            return
-        result.instructions += record.instruction_count
-        result.fetch_regions += 1
-        result.base_cycles += record.instruction_count * config.base_cpi
-        result.misfetch_stall_cycles += config.misfetch_penalty_cycles if misfetch else 0
-        result.direction_stall_cycles += (
-            config.direction_mispredict_penalty_cycles if direction_miss else 0
-        )
-        result.btb_latency_stall_cycles += btb_bubble
-        result.l1i_stall_cycles += fetch_stall
-        result.misfetches += int(misfetch)
-        if record.is_taken_branch:
-            result.btb_taken_lookups += 1
-            if not btb_result.hit:
-                result.btb_taken_misses += 1
-        if btb_result.level in ("l2",):
-            result.second_level_accesses += 1
-        result.l1i_accesses += accesses
-        result.l1i_misses += misses
-        result.l1i_prefetch_hits += prefetch_hits
-        # Same guarded predicate as the stall charge above: a region without
-        # a branch cannot be a direction misprediction, whatever the
-        # prediction object's unguarded flag says.
-        result.direction_mispredictions += int(direction_miss)
-        result.prefetches_issued += issued
+        return impl.run(self, trace, warmup)
 
     def _finalize(self, result: FrontendResult) -> None:
         # Repeated run() calls start clean: drop stale in-flight entries AND

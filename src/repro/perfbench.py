@@ -1,19 +1,23 @@
 """Kernel hot-loop benchmark harness: the tracked perf trajectory.
 
 Performance PRs need a recorded baseline to argue against, so this module
-measures the packed simulation kernel end to end — trace generation, the
-columnar artifact round trip, and the allocation-free hot loop per design —
+measures the simulation kernel end to end — trace generation, the columnar
+artifact round trip, and the per-design hot loop on a selected backend —
 and emits the numbers in a *stable* JSON schema.  ``python -m repro bench
---json BENCH_kernel.json`` writes one trajectory point; the committed
-``BENCH_kernel.json`` at the repo root is the first, and CI re-runs the
-benchmark at smoke scale on every push, failing on schema drift (never on
-timing — CI machines are noisy, the schema is not).
+--json BENCH_kernel.json`` appends one trajectory point; the committed
+``BENCH_kernel.json`` at the repo root holds the recorded history, and CI
+re-runs the benchmark at smoke scale on every push, failing on schema drift
+and on throughput regressions beyond ``--tolerance`` (timing alone never
+gates — CI machines are noisy — but a collapse past the tolerance is a real
+regression, not noise).
 
 The headline numbers:
 
-* ``designs[*].regions_per_sec`` — packed hot-loop throughput per design,
-* ``record_path.regions_per_sec`` — the record-view oracle loop on the same
-  trace (the packed loop's predecessor), giving ``packed_speedup``,
+* ``designs[*].regions_per_sec`` — hot-loop throughput per design on the
+  selected backend,
+* ``backends[*].regions_per_sec`` — the first design driven through *every*
+  registered backend (``scalar``, ``reference``, anything user-registered),
+  giving ``speedup_over_reference`` for the selected backend,
 * ``stages`` — per-stage wall times (generate / save / load),
 * ``peak_rss_kb`` — the process's peak resident set, which the mmap-backed
   trace store is meant to keep flat as worker counts grow.
@@ -34,6 +38,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.backends.base import DEFAULT_BACKEND, backend_names, get_backend
 from repro.core.designs import design_from_spec, resolve_design
 from repro.core.frontend import FrontendResult, FrontendSimulator
 from repro.workloads import generate_trace, get_profile, synthesize_program
@@ -42,8 +47,12 @@ from repro.workloads.trace import Trace
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "append_trajectory_point",
+    "compare_to_reference",
     "default_bench_settings",
     "format_bench_report",
+    "format_comparison",
+    "load_trajectory",
     "load_trajectory_point",
     "run_kernel_benchmark",
     "schema_signature",
@@ -53,7 +62,10 @@ __all__ = [
 #: Bumped whenever the emitted JSON layout changes meaning; CI compares the
 #: recursive key structure of a fresh run against the committed trajectory
 #: point, so accidental drift fails fast.
-BENCH_SCHEMA_VERSION = 1
+#: (2: pluggable backends — design rows carry ``backend``, the per-backend
+#: ``backends`` table replaces ``record_path``, and ``packed_speedup``
+#: generalizes to ``speedup_over_reference``.)
+BENCH_SCHEMA_VERSION = 2
 
 #: (scale, instructions, repeats) operating points: the full point is what
 #: BENCH_kernel.json trajectory entries are recorded at; the smoke point is
@@ -83,10 +95,10 @@ def _peak_rss_kb() -> int:
 
 
 def _time_run(
-    simulator: FrontendSimulator, trace: Trace, use_packed: bool = True
+    simulator: FrontendSimulator, trace: Trace, backend: str
 ) -> Tuple[FrontendResult, float]:
     start = time.perf_counter()
-    result = simulator.run(trace, use_packed=use_packed)
+    result = simulator.run(trace, backend=backend)
     return result, time.perf_counter() - start
 
 
@@ -98,20 +110,25 @@ def run_kernel_benchmark(
     designs: Sequence[str] = ("baseline", "confluence"),
     repeats: int = 3,
     artifact_dir: Optional[str] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Dict[str, object]:
-    """Measure the packed kernel and return one trajectory point (plain data).
+    """Measure the simulation kernel and return one trajectory point.
 
     The trace is generated once, round-tripped through the columnar artifact
     format, mapped back in zero-copy, and then driven through every design's
-    packed hot loop ``repeats`` times (best-of is reported — the interesting
-    quantity is the kernel's speed, not the scheduler's noise).  The first
-    design is also run through the record-view oracle loop once, giving the
-    packed/record speedup the acceptance gate tracks.
+    hot loop on ``backend`` ``repeats`` times (best-of is reported — the
+    interesting quantity is the kernel's speed, not the scheduler's noise).
+    The first design is additionally driven through *every* registered
+    backend, so the point records each backend's regions/sec and the
+    selected backend's ``speedup_over_reference`` (the gated trajectory
+    metric; both sides of the ratio get the same repeats/best-of treatment
+    so they absorb scheduler noise identically).
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
     if not designs:
         raise ValueError("at least one design is required")
+    get_backend(backend)  # unknown names fail before any simulation
     specs = [resolve_design(design) for design in designs]
 
     profile = get_profile(profile_name)
@@ -148,32 +165,46 @@ def run_kernel_benchmark(
     bench_trace: Trace = round_trip.pop("trace")
     regions = len(bench_trace)
 
+    def _best_of(spec_name: str, run_backend: str) -> Tuple[float, FrontendResult]:
+        best_s: Optional[float] = None
+        result: Optional[FrontendResult] = None
+        for _ in range(repeats):
+            simulator, _ = design_from_spec(resolve_design(spec_name), program)
+            result, elapsed = _time_run(simulator, bench_trace, run_backend)
+            best_s = elapsed if best_s is None else min(best_s, elapsed)
+        assert best_s is not None and result is not None
+        return best_s, result
+
     design_rows: List[Dict[str, object]] = []
     for spec in specs:
-        best_s = None
-        result = None
-        for _ in range(repeats):
-            simulator, _ = design_from_spec(spec, program)
-            result, elapsed = _time_run(simulator, bench_trace)
-            best_s = elapsed if best_s is None else min(best_s, elapsed)
+        best_s, result = _best_of(spec.name, backend)
         design_rows.append({
             "design": spec.name,
+            "backend": backend,
             "seconds": best_s,
             "regions_per_sec": regions / best_s if best_s else 0.0,
             "ipc": result.ipc,
         })
 
-    # The oracle gets the same repeats/best-of treatment as the packed rows:
-    # packed_speedup is a gated trajectory metric, so both sides of the
-    # ratio must absorb scheduler noise identically.
-    oracle_s = None
-    oracle_result = None
-    for _ in range(repeats):
-        oracle_sim, _ = design_from_spec(specs[0], program)
-        oracle_result, elapsed = _time_run(oracle_sim, bench_trace, use_packed=False)
-        oracle_s = elapsed if oracle_s is None else min(oracle_s, elapsed)
-    record_regions_per_sec = regions / oracle_s if oracle_s else 0.0
-    packed_regions_per_sec = design_rows[0]["regions_per_sec"]
+    # Every registered backend drives the first design: the per-backend
+    # regions/sec table is what makes a new backend's cost/benefit visible
+    # the moment it registers.
+    backend_rows: List[Dict[str, object]] = []
+    per_backend_rps: Dict[str, float] = {}
+    for name in backend_names():
+        best_s, result = _best_of(specs[0].name, name)
+        rps = regions / best_s if best_s else 0.0
+        per_backend_rps[name] = rps
+        backend_rows.append({
+            "backend": name,
+            "design": specs[0].name,
+            "seconds": best_s,
+            "regions_per_sec": rps,
+            "ipc": result.ipc,
+        })
+
+    reference_rps = per_backend_rps.get("reference", 0.0)
+    selected_rps = per_backend_rps.get(backend, 0.0)
 
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -185,6 +216,7 @@ def run_kernel_benchmark(
             "seed": seed,
             "designs": [spec.name for spec in specs],
             "repeats": repeats,
+            "backend": backend,
         },
         "trace": {
             "regions": regions,
@@ -198,16 +230,9 @@ def run_kernel_benchmark(
             "load_s": round_trip["load_s"],
         },
         "designs": design_rows,
-        "record_path": {
-            "design": specs[0].name,
-            "seconds": oracle_s,
-            "regions_per_sec": record_regions_per_sec,
-            "ipc": oracle_result.ipc,
-        },
-        "packed_speedup": (
-            packed_regions_per_sec / record_regions_per_sec
-            if record_regions_per_sec
-            else 0.0
+        "backends": backend_rows,
+        "speedup_over_reference": (
+            selected_rps / reference_rps if reference_rps else 0.0
         ),
         "peak_rss_kb": _peak_rss_kb(),
         "host": {
@@ -254,6 +279,70 @@ def schemas_match(left: object, right: object) -> bool:
     return normalize(schema_signature(left)) == normalize(schema_signature(right))
 
 
+def compare_to_reference(
+    payload: Dict[str, object],
+    reference: Dict[str, object],
+    tolerance: float,
+) -> List[Dict[str, object]]:
+    """Gate a fresh bench payload against a recorded trajectory point.
+
+    For every design the two payloads share, the fresh run's regions/sec
+    must be at least ``tolerance`` times the recorded value; a row with
+    ``ok: False`` is a regression beyond tolerance.  Works against schema-1
+    and schema-2 reference points alike (both carry per-design
+    ``regions_per_sec`` rows).  Raises :class:`ValueError` when the
+    tolerance is not in (0, inf) or the payloads share no design.
+    """
+    if not tolerance > 0:
+        raise ValueError("tolerance must be positive")
+
+    def _design_rps(point: Dict[str, object]) -> Dict[str, float]:
+        rows = point.get("designs")
+        if not isinstance(rows, list):
+            raise ValueError("bench payload has no design rows to compare")
+        return {
+            str(row["design"]): float(row["regions_per_sec"])
+            for row in rows
+            if isinstance(row, dict)
+        }
+
+    fresh = _design_rps(payload)
+    recorded = _design_rps(reference)
+    shared = [name for name in fresh if name in recorded]
+    if not shared:
+        raise ValueError(
+            "no shared designs between the fresh run "
+            f"({', '.join(sorted(fresh))}) and the reference point "
+            f"({', '.join(sorted(recorded))})"
+        )
+    rows: List[Dict[str, object]] = []
+    for name in shared:
+        ratio = fresh[name] / recorded[name] if recorded[name] else 0.0
+        rows.append({
+            "design": name,
+            "regions_per_sec": fresh[name],
+            "reference_regions_per_sec": recorded[name],
+            "ratio": ratio,
+            "ok": ratio >= tolerance,
+        })
+    return rows
+
+
+def format_comparison(
+    rows: Sequence[Dict[str, object]], tolerance: float
+) -> str:
+    """Human-readable rendering of a :func:`compare_to_reference` result."""
+    lines = [f"throughput vs recorded trajectory point (tolerance {tolerance:.2f}x):"]
+    for row in rows:
+        verdict = "ok" if row["ok"] else "REGRESSED"
+        lines.append(
+            "  {design:>16}: {regions_per_sec:>12,.0f} regions/s vs "
+            "{reference_regions_per_sec:>12,.0f} recorded "
+            "({ratio:.2f}x) {verdict}".format(verdict=verdict, **row)
+        )
+    return "\n".join(lines)
+
+
 def format_bench_report(payload: Dict[str, object]) -> str:
     """Human-readable rendering of one trajectory point."""
     lines = [
@@ -266,24 +355,87 @@ def format_bench_report(payload: Dict[str, object]) -> str:
     for row in payload["designs"]:
         lines.append(
             "  {design:>16}: {regions_per_sec:>12,.0f} regions/s "
-            "({seconds:.3f}s best)".format(**row)
+            "({seconds:.3f}s best, {backend} backend)".format(**row)
         )
-    record = payload["record_path"]
+    for row in payload["backends"]:
+        lines.append(
+            "  backend {backend:>10}: {regions_per_sec:>12,.0f} regions/s "
+            "on {design}".format(**row)
+        )
     lines.append(
-        f"  {record['design']:>16}: {record['regions_per_sec']:>12,.0f} "
-        "regions/s (record-view oracle)"
+        "  speedup over reference backend: "
+        f"{payload['speedup_over_reference']:.2f}x"
     )
-    lines.append(f"  packed speedup over record path: {payload['packed_speedup']:.2f}x")
     lines.append(f"  peak RSS: {payload['peak_rss_kb']} KB")
     return "\n".join(lines)
 
 
-def load_trajectory_point(path: Union[str, Path]) -> Dict[str, object]:
-    """Read a committed trajectory point (schema-checked)."""
+def _trajectory_points(payload: object, path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Normalize a trajectory file: a ``points`` list, or one bare point."""
+    if isinstance(payload, dict) and isinstance(payload.get("points"), list):
+        points = [point for point in payload["points"] if isinstance(point, dict)]
+        if len(points) != len(payload["points"]) or not points:
+            raise ValueError(f"{path} has malformed trajectory points")
+        return points
+    if isinstance(payload, dict) and "schema" in payload:
+        return [payload]  # pre-trajectory format: one bare point
+    raise ValueError(f"{path} is not a bench trajectory file")
+
+
+def load_trajectory(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read every recorded point of a trajectory file, oldest first.
+
+    Accepts both the trajectory format (``{"bench": ..., "points": [...]}``)
+    and the original single-point format (one bare payload dict).  Points
+    recorded under older schemas are returned as-is — the history keeps its
+    original shapes; only :func:`load_trajectory_point` insists on the
+    current schema.
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA_VERSION:
+    return _trajectory_points(payload, path)
+
+
+def load_trajectory_point(path: Union[str, Path]) -> Dict[str, object]:
+    """Read the latest committed trajectory point (schema-checked)."""
+    latest = load_trajectory(path)[-1]
+    if latest.get("schema") != BENCH_SCHEMA_VERSION:
         raise ValueError(
-            f"{path} is not a schema-{BENCH_SCHEMA_VERSION} bench trajectory point"
+            f"latest point in {path} is not a schema-{BENCH_SCHEMA_VERSION} "
+            "bench trajectory point"
         )
-    return payload
+    return latest
+
+
+def append_trajectory_point(
+    path: Union[str, Path], payload: Dict[str, object]
+) -> int:
+    """Append one point to a trajectory file; returns the new point count.
+
+    Creates the file when missing; a pre-trajectory single-point file is
+    upgraded in place (its recorded point becomes the history's first
+    entry).  The write is atomic (temp file + rename), the ``put`` idiom of
+    the result cache.
+    """
+    path = Path(path)
+    points: List[Dict[str, object]] = []
+    if path.exists():
+        points = load_trajectory(path)
+    points.append(dict(payload))
+    document = {"bench": "kernel_hotloop", "points": points}
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) if str(path.parent) else ".",
+        prefix=".tmp-", suffix=".json",
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            json.dump(document, tmp, indent=2, sort_keys=True)
+            tmp.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(points)

@@ -104,11 +104,23 @@ ComponentFactory = Callable[..., object]
 
 
 class Registry:
-    """Name -> factory mapping with decorator-based registration."""
+    """Name -> factory mapping with decorator-based registration.
 
-    def __init__(self, kind: str) -> None:
+    ``loader`` is an optional zero-argument hook invoked on the first lookup
+    miss; it imports whatever modules self-register into this registry (the
+    component registries use :func:`load_builtin_components`, the backend
+    registry in :mod:`repro.backends` imports its kernel modules).  The hook
+    must be idempotent — it runs on every miss until the name resolves.
+    """
+
+    def __init__(self, kind: str, loader: Optional[Callable[[], None]] = None) -> None:
         self.kind = kind
         self._factories: Dict[str, ComponentFactory] = {}
+        self._loader = loader
+
+    def _load_lazily(self) -> None:
+        if self._loader is not None:
+            self._loader()
 
     def register(
         self,
@@ -142,11 +154,11 @@ class Registry:
         self._factories.pop(name, None)
 
     def get(self, name: str) -> ComponentFactory:
-        """Resolve ``name``, loading built-in components on first miss."""
+        """Resolve ``name``, running the lazy loader on first miss."""
         try:
             return self._factories[name]
         except KeyError:
-            load_builtin_components()
+            self._load_lazily()
         try:
             return self._factories[name]
         except KeyError:
@@ -154,7 +166,7 @@ class Registry:
 
     def __contains__(self, name: str) -> bool:
         if name not in self._factories:
-            load_builtin_components()
+            self._load_lazily()
         return name in self._factories
 
     def __iter__(self) -> Iterator[str]:
@@ -164,15 +176,8 @@ class Registry:
         return len(self._factories)
 
     def names(self) -> List[str]:
+        self._load_lazily()
         return sorted(self._factories)
-
-
-#: Registry of BTB designs (``conventional``, ``two_level``, ``phantom``,
-#: ``perfect``, ``airbtb``, ... plus anything user code registers).
-BTB_REGISTRY = Registry("BTB design")
-
-#: Registry of instruction prefetchers (``none``, ``fdp``, ``shift``, ...).
-PREFETCHER_REGISTRY = Registry("prefetcher")
 
 
 _BUILTIN_COMPONENT_MODULES = (
@@ -202,6 +207,14 @@ def load_builtin_components() -> None:
 
     for module in _BUILTIN_COMPONENT_MODULES:
         importlib.import_module(module)
+
+
+#: Registry of BTB designs (``conventional``, ``two_level``, ``phantom``,
+#: ``perfect``, ``airbtb``, ... plus anything user code registers).
+BTB_REGISTRY = Registry("BTB design", loader=load_builtin_components)
+
+#: Registry of instruction prefetchers (``none``, ``fdp``, ``shift``, ...).
+PREFETCHER_REGISTRY = Registry("prefetcher", loader=load_builtin_components)
 
 
 def _bare_context(

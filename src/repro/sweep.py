@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.backends.base import BACKEND_REGISTRY, DEFAULT_BACKEND, get_backend
 from repro.core.cmp import ChipMultiprocessor, CMPResult, _fork_context
 from repro.core.designs import DesignSpec, resolve_design
 from repro.core.frontend import FrontendConfig
@@ -90,7 +91,8 @@ __all__ = [
 #: Bumped whenever the simulator or the summary layout changes meaning:
 #: entries written under another schema are ignored, never misread.
 #: (2: scenario cells — summaries carry scenario/core_profiles/per_profile.)
-CACHE_SCHEMA_VERSION = 2
+#: (3: the simulation backend joins the cell key and the summary.)
+CACHE_SCHEMA_VERSION = 3
 
 #: Joins the trace-store key: bumped whenever trace *generation* changes
 #: meaning (the walker's algorithm or the packed column semantics), so stale
@@ -161,8 +163,11 @@ def cell_key(cell: "SweepCell") -> str:
     complete per-core assignment (every core's full profile parameters, seed
     and instruction budget) — plus the design spec (component names and
     every parameter override), the source fingerprints of the registered
-    component factories the spec names and the frontend timing config: the
-    closure of inputs the simulation is a pure function of.
+    component factories the spec names, the frontend timing config and the
+    simulation backend (name plus the registered backend factory's source
+    fingerprint — all backends are bit-exact by contract, but an edited or
+    swapped backend must re-earn its results, not inherit them): the closure
+    of inputs the simulation is a pure function of.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -173,6 +178,8 @@ def cell_key(cell: "SweepCell") -> str:
         ),
         "frontend_config": _jsonable(cell.frontend_config),
         "cores": cell.cores,
+        "backend": cell.backend,
+        "backend_factory": _factory_fingerprint(BACKEND_REGISTRY, cell.backend),
     }
     if isinstance(cell.profile, BoundScenario):
         # The bound assignment is the scenario's full parameter closure:
@@ -465,6 +472,11 @@ class SweepCell:
     instructions_per_core: int
     trace_seed_base: int = 100
     frontend_config: Optional[FrontendConfig] = None
+    #: Simulation backend *name* (a :data:`repro.backends.BACKEND_REGISTRY`
+    #: entry).  A name, not an instance: cells are hashed into cache keys and
+    #: pickled across pool boundaries, and the name pins the registered
+    #: implementation whose source fingerprint joins the key.
+    backend: str = DEFAULT_BACKEND
 
     def key(self) -> str:
         return cell_key(self)
@@ -548,6 +560,7 @@ def cmp_driver(
     trace_seed_base: int = 100,
     frontend_config: Optional[FrontendConfig] = None,
     trace_store: Optional[TraceStore] = None,
+    backend: Optional[str] = None,
 ) -> ChipMultiprocessor:
     """The per-process memoized CMP driver for one workload configuration.
 
@@ -556,7 +569,10 @@ def cmp_driver(
     ``profile`` may be a :class:`~repro.workloads.scenario.BoundScenario`,
     in which case the driver runs its heterogeneous per-core assignment.  A
     ``trace_store`` attaches to the memoized driver: traces it has not yet
-    materialized are loaded from (or saved to) the store.
+    materialized are loaded from (or saved to) the store.  ``backend`` sets
+    the driver's default simulation backend; like the store it does not join
+    the memo key (it never shapes the cached traces) — the latest caller's
+    knob wins, and per-``run_design`` overrides always take precedence.
     """
     memo_key = (profile, cores, instructions_per_core, trace_seed_base,
                 frontend_config)
@@ -567,6 +583,7 @@ def cmp_driver(
                 frontend_config=frontend_config,
                 trace_store=trace_store,
                 scenario=profile,
+                backend=backend,
             )
         else:
             cmp_model = ChipMultiprocessor(
@@ -576,6 +593,7 @@ def cmp_driver(
                 frontend_config=frontend_config,
                 trace_seed_base=trace_seed_base,
                 trace_store=trace_store,
+                backend=backend,
             )
         _CMP_MEMO[memo_key] = cmp_model
         while len(_CMP_MEMO) > _CMP_MEMO_MAX_ENTRIES:
@@ -599,6 +617,7 @@ def cmp_driver(
         if old_dir != new_dir:
             cmp_model._trace_paths = None
         cmp_model.trace_store = trace_store
+        cmp_model.backend = backend
     return cmp_model
 
 
@@ -616,7 +635,7 @@ def _cmp_for_cell(
 
 
 def summarize_result(
-    result: CMPResult, spec: DesignSpec, cores: int
+    result: CMPResult, spec: DesignSpec, cores: int, backend: str = DEFAULT_BACKEND
 ) -> Dict[str, object]:
     """Flatten one CMP result into plain JSON-compatible data.
 
@@ -629,6 +648,7 @@ def summarize_result(
         "workload": result.workload,
         "scenario": result.scenario,
         "cores": cores,
+        "backend": backend,
         "instructions": result.instructions,
         "cycles": result.cycles,
         "ipc": result.ipc,
@@ -672,8 +692,8 @@ def _simulate_cell_counted(
     generated_before = cmp_model.traces_generated
     loaded_before = cmp_model.traces_loaded
     mapped_before = cmp_model.traces_mapped
-    result = cmp_model.run_design(cell.spec, workers=workers)
-    summary = summarize_result(result, cell.spec, cell.cores)
+    result = cmp_model.run_design(cell.spec, workers=workers, backend=cell.backend)
+    summary = summarize_result(result, cell.spec, cell.cores, backend=cell.backend)
     return (
         summary,
         cmp_model.traces_generated - generated_before,
@@ -794,6 +814,7 @@ def run_sweep(
     cache: Union[None, bool, str, Path, ResultCache] = None,
     trace_store: Union[None, bool, str, Path, TraceStore] = None,
     scenarios: Optional[Iterable[Union[str, Scenario, BoundScenario]]] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepOutcome:
     """Run the full (workload x design) grid through the cell scheduler.
 
@@ -807,8 +828,15 @@ def run_sweep(
     when scenarios are given.  ``trace_store`` shares per-core traces as
     on-disk artifacts across designs, runs, processes *and scenarios*: any
     two grid rows assigning the same (profile, seed, length) to a core share
-    one artifact (see :class:`TraceStore`).
+    one artifact (see :class:`TraceStore`).  ``backend`` names the
+    simulation backend every cell runs on (a
+    :data:`repro.backends.BACKEND_REGISTRY` entry); it joins each cell's
+    cache key, so the same grid on two backends never shares entries.
     """
+    # Resolve the backend up front: an unknown name must fail before any
+    # cell simulates (or, with caching disabled, before a deep stack of
+    # drivers has been built around it).
+    get_backend(backend)
     resolved_profiles: List[WorkloadProfile] = []
     for profile in profiles:
         if isinstance(profile, str):
@@ -860,6 +888,7 @@ def run_sweep(
             ),
             trace_seed_base=trace_seed_base,
             frontend_config=frontend_config,
+            backend=backend,
         )
         for profile in resolved_profiles
         for spec in specs
@@ -872,6 +901,7 @@ def run_sweep(
             instructions_per_core=scenario.instructions_per_core,
             trace_seed_base=trace_seed_base,
             frontend_config=frontend_config,
+            backend=backend,
         )
         for scenario in bound_scenarios
         for spec in specs

@@ -107,21 +107,87 @@ class TestBenchCommand:
         "--repeats", "1", "--designs", "baseline",
     ]
 
-    def test_bench_writes_a_stable_schema_point(self, tmp_path, capsys):
+    def test_bench_appends_a_stable_schema_point(self, tmp_path, capsys):
+        from repro.backends import backend_names
         from repro.perfbench import BENCH_SCHEMA_VERSION
 
         out = tmp_path / "bench.json"
         code = main(self.BENCH_ARGS + ["--json", str(out)])
         captured = capsys.readouterr()
         assert code == 0
-        assert "packed speedup over record path" in captured.out
-        payload = json.loads(out.read_text())
+        assert "speedup over reference backend" in captured.out
+        trajectory = json.loads(out.read_text())
+        assert trajectory["bench"] == "kernel_hotloop"
+        payload = trajectory["points"][-1]
         assert payload["schema"] == BENCH_SCHEMA_VERSION
         assert payload["trace"]["mapped"] is True
         assert payload["designs"][0]["design"] == "baseline"
+        assert payload["designs"][0]["backend"] == "scalar"
         assert payload["designs"][0]["regions_per_sec"] > 0
-        assert payload["record_path"]["regions_per_sec"] > 0
+        assert {row["backend"] for row in payload["backends"]} \
+            == set(backend_names())
+        assert payload["speedup_over_reference"] > 0
         assert payload["peak_rss_kb"] > 0
+
+    def test_json_appends_to_an_existing_trajectory(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        capsys.readouterr()
+        assert len(json.loads(out.read_text())["points"]) == 2
+
+    def test_bench_on_the_reference_backend(self, capsys):
+        code = main(self.BENCH_ARGS + ["--backend", "reference"])
+        assert code == 0
+        assert "reference backend" in capsys.readouterr().out
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        code = main(self.BENCH_ARGS + ["--backend", "vector9000"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "scalar" in err
+
+    def test_compare_within_tolerance(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        capsys.readouterr()
+        # A sub-floor tolerance can never fail: the check plumbing itself
+        # is what this pins, not the (noisy, tiny-run) throughput.
+        code = main(self.BENCH_ARGS + ["--compare", str(out),
+                                       "--tolerance", "0.000001"])
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        capsys.readouterr()
+        # Doctor the recorded point to claim impossible throughput; any
+        # fresh run then reads as a regression beyond tolerance.
+        trajectory = json.loads(out.read_text())
+        for row in trajectory["points"][-1]["designs"]:
+            row["regions_per_sec"] *= 1e6
+        out.write_text(json.dumps(trajectory))
+        code = main(self.BENCH_ARGS + ["--compare", str(out),
+                                       "--tolerance", "0.85"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSED" in captured.out
+        assert "regressed beyond tolerance" in captured.err
+
+    def test_failed_compare_does_not_append(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        capsys.readouterr()
+        trajectory = json.loads(out.read_text())
+        for row in trajectory["points"][-1]["designs"]:
+            row["regions_per_sec"] *= 1e6
+        out.write_text(json.dumps(trajectory))
+        code = main(self.BENCH_ARGS + ["--json", str(out),
+                                       "--compare", str(out)])
+        assert code == 1
+        # The regressed run must not have been recorded into the file.
+        assert len(json.loads(out.read_text())["points"]) == 1
 
     def test_expect_schema_accepts_an_equivalent_run(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -217,6 +283,52 @@ class TestSweepCommand:
         assert code == 2
         err = capsys.readouterr().err
         assert "unknown scenario" in err and "consolidated_oltp_dss" in err
+
+    def test_unknown_backend_exits_with_usage_error(self, capsys):
+        code = main([
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "1", "--backend", "vector9000",
+            "--no-cache", "--no-trace-store",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "scalar" in err
+
+    def test_sweep_on_the_reference_backend(self, capsys):
+        from repro.sweep import clear_workload_memo
+
+        clear_workload_memo()
+        code = main([
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "1", "--instructions-per-core",
+            "5000", "--backend", "reference", "--no-cache",
+            "--no-trace-store",
+        ])
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+
+
+class TestBackendsCommand:
+    def test_listing_names_every_backend(self, capsys):
+        from repro.backends import backend_names
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in backend_names():
+            assert name in out
+        assert "(default)" in out
+        assert "trace form" in out
+
+    def test_json_listing_is_machine_readable(self, capsys):
+        from repro.backends import DEFAULT_BACKEND, backend_names
+
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = {row["name"]: row for row in payload["backends"]}
+        assert set(rows) == set(backend_names())
+        assert rows[DEFAULT_BACKEND]["default"] is True
+        assert rows["reference"]["default"] is False
+        assert rows["scalar"]["trace form"] == "columnar (.packed)"
 
 
 class TestSweepScenarios:

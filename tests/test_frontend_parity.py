@@ -1,11 +1,16 @@
-"""The tentpole acceptance pin: packed fast path == record-view path.
+"""The tentpole acceptance pin: every backend == the reference oracle.
 
-``FrontendSimulator.run`` walks the columnar trace by default and the lazy
-record view with ``use_packed=False``.  Every field of the resulting
-:class:`FrontendResult` must be bit-identical across the two paths — the
-packed loop is an optimization, never a model change — on multiple
-profiles x multiple design points (covering the SHIFT/Confluence prefetch
-machinery, FDP's columnar runahead and the bare baseline).
+``FrontendSimulator.run`` delegates to a registered simulation backend
+(:mod:`repro.backends`); the ``reference`` backend is the record-at-a-time
+oracle loop, and every other backend — today the zero-allocation columnar
+``scalar`` loop — must produce a bit-identical :class:`FrontendResult` on
+multiple profiles x multiple design points (covering the SHIFT/Confluence
+prefetch machinery, FDP's columnar runahead and the bare baseline).  A
+backend is an optimization, never a model change.
+
+The ``sim_backend`` fixture (see ``conftest.py``) parameterizes these tests
+over every registered backend; CI's backend-parity matrix runs this file
+once per backend with ``pytest --backend NAME``.
 """
 
 from __future__ import annotations
@@ -23,29 +28,37 @@ from repro.sweep import TraceStore
 PARITY_DESIGNS = ("baseline", "confluence", "fdp", "2level_shift")
 
 
-def _run_both(program, trace, design):
+def _run_backend(program, trace, design, backend):
     spec = resolve_design(design)
-    fast_sim, _ = design_from_spec(spec, program)
-    slow_sim, _ = design_from_spec(spec, program)
-    fast = fast_sim.run(trace)
-    slow = slow_sim.run(trace, use_packed=False)
-    return fast, slow
+    simulator, _ = design_from_spec(spec, program)
+    return simulator.run(trace, backend=backend)
 
 
-class TestPackedRecordParity:
+def _run_vs_reference(program, trace, design, backend):
+    return (
+        _run_backend(program, trace, design, backend),
+        _run_backend(program, trace, design, "reference"),
+    )
+
+
+class TestBackendReferenceParity:
     """Two profiles x the design set: identical results field for field."""
 
     @pytest.mark.parametrize("design", PARITY_DESIGNS)
-    def test_oltp_parity(self, tiny_program, tiny_trace, design):
-        fast, slow = _run_both(tiny_program, tiny_trace, design)
-        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+    def test_oltp_parity(self, tiny_program, tiny_trace, design, sim_backend):
+        fast, oracle = _run_vs_reference(
+            tiny_program, tiny_trace, design, sim_backend
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(oracle)
 
     @pytest.mark.parametrize("design", ("baseline", "confluence"))
-    def test_web_parity(self, small_program, small_trace, design):
-        fast, slow = _run_both(small_program, small_trace, design)
-        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+    def test_web_parity(self, small_program, small_trace, design, sim_backend):
+        fast, oracle = _run_vs_reference(
+            small_program, small_trace, design, sim_backend
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(oracle)
 
-    def test_parity_with_kindless_branch_records(self, tiny_program):
+    def test_parity_with_kindless_branch_records(self, tiny_program, sim_backend):
         # A record may carry a branch_pc but no kind (the FetchRecord
         # contract allows it); the packed path must decode the -1 kind
         # sentinel to None, not wrap it around the kind table into RETURN.
@@ -63,11 +76,13 @@ class TestPackedRecordParity:
                 kind=None, taken=False, target=None, next_pc=base,
             ))
         trace = Trace(records, name="kindless")
-        fast, slow = _run_both(tiny_program, trace, "baseline")
-        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+        fast, oracle = _run_vs_reference(
+            tiny_program, trace, "baseline", sim_backend
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(oracle)
 
     def test_parity_survives_the_trace_store_round_trip(
-        self, tiny_program, tiny_trace, tmp_path
+        self, tiny_program, tiny_trace, tmp_path, sim_backend
     ):
         # A store-loaded trace must drive the simulator to the exact result
         # the generated trace does (the store is a cache, not a model knob).
@@ -76,9 +91,9 @@ class TestPackedRecordParity:
         store.put(profile, 30_000, 3, tiny_trace)
         loaded = store.load(profile, 30_000, 3, name=tiny_trace.name)
         assert loaded is not None
-        fast, _ = _run_both(tiny_program, tiny_trace, "confluence")
-        via_store, _ = _run_both(tiny_program, loaded, "confluence")
-        assert dataclasses.asdict(fast) == dataclasses.asdict(via_store)
+        direct = _run_backend(tiny_program, tiny_trace, "confluence", sim_backend)
+        via_store = _run_backend(tiny_program, loaded, "confluence", sim_backend)
+        assert dataclasses.asdict(direct) == dataclasses.asdict(via_store)
 
 
 class TestMmapHeapParity:
@@ -127,7 +142,7 @@ class TestMmapHeapParity:
             ), design
 
     def test_mmap_parity_after_chunked_streaming_round_trip(
-        self, tiny_program, tiny_trace, tmp_path
+        self, tiny_program, tiny_trace, tmp_path, sim_backend
     ):
         # save_chunks with a small chunk size writes a multi-chunk artifact;
         # the mapper cannot serve it zero-copy and must fall back to the
@@ -141,15 +156,15 @@ class TestMmapHeapParity:
         )
         reloaded = load_packed(path, mmap=True)
         assert not reloaded.mapped  # multi-chunk: heap fallback
-        fast, _ = _run_both(tiny_program, tiny_trace, "confluence")
-        via_stream, _ = _run_both(
-            tiny_program, Trace.from_packed(reloaded), "confluence"
+        direct = _run_backend(tiny_program, tiny_trace, "confluence", sim_backend)
+        via_stream = _run_backend(
+            tiny_program, Trace.from_packed(reloaded), "confluence", sim_backend
         )
-        assert dataclasses.asdict(fast) == dataclasses.asdict(via_stream)
+        assert dataclasses.asdict(direct) == dataclasses.asdict(via_stream)
 
 
 class TestAllocationFreeKernel:
-    """The packed loop must not construct per-region Python objects.
+    """The scalar loop must not construct per-region Python objects.
 
     The scratch-slot API (``predict_region_into``/``lookup_into``) and the
     hoisted ``PrefetchContext`` are regression-pinned by counting
@@ -157,6 +172,8 @@ class TestAllocationFreeKernel:
     whole run with zero ``predict_region`` calls (slot API used instead),
     zero ``lookup`` calls on slot-capable BTBs, and at most one
     ``PrefetchContext`` ever built (zero when the design has no prefetcher).
+    These pins target the default ``scalar`` backend specifically — the
+    ``reference`` oracle allocates freely on purpose.
     """
 
     @staticmethod
@@ -186,7 +203,7 @@ class TestAllocationFreeKernel:
         slots = self._count_calls(monkeypatch, PredictionSlot, "__init__")
 
         simulator, _ = design_from_spec(resolve_design("baseline"), tiny_program)
-        result = simulator.run(tiny_trace)
+        result = simulator.run(tiny_trace, backend="scalar")
         assert result.fetch_regions > 0
         assert predictions["count"] == 0  # slot API replaced predict_region
         assert lookups["count"] == 0  # lookup_into replaced lookup
@@ -202,7 +219,7 @@ class TestAllocationFreeKernel:
         simulator, _ = design_from_spec(
             resolve_design("2level_shift"), tiny_program
         )
-        result = simulator.run(tiny_trace)
+        result = simulator.run(tiny_trace, backend="scalar")
         assert result.fetch_regions > 0
         assert lookups["count"] == 0
 
@@ -213,7 +230,7 @@ class TestAllocationFreeKernel:
 
         contexts = self._count_calls(monkeypatch, PrefetchContext, "__init__")
         simulator, _ = design_from_spec(resolve_design("confluence"), tiny_program)
-        result = simulator.run(tiny_trace)
+        result = simulator.run(tiny_trace, backend="scalar")
         assert result.fetch_regions > 0
         assert contexts["count"] == 1  # hoisted out of the region loop
 
@@ -221,8 +238,10 @@ class TestAllocationFreeKernel:
         # PhantomBTB/AirBTB keep the generic lookup_into (which delegates to
         # lookup); the slot plumbing must not change their results either.
         for design in ("phantom_shift", "confluence"):
-            fast, slow = _run_both(tiny_program, tiny_trace, design)
-            assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+            fast, oracle = _run_vs_reference(
+                tiny_program, tiny_trace, design, "scalar"
+            )
+            assert dataclasses.asdict(fast) == dataclasses.asdict(oracle)
 
 
 class TestDirectionMispredictionPredicate:
@@ -230,8 +249,8 @@ class TestDirectionMispredictionPredicate:
 
     A region without a terminating branch can never report a direction
     misprediction — whatever its ``taken`` column says — because there is
-    no branch to mispredict; both simulation paths must agree, counter and
-    cycle charge alike.
+    no branch to mispredict; every backend must agree, counter and cycle
+    charge alike.
     """
 
     def _branchless_taken_trace(self):
@@ -252,13 +271,12 @@ class TestDirectionMispredictionPredicate:
             ))
         return Trace(records, name="branchless_taken")
 
-    @pytest.mark.parametrize("use_packed", (True, False))
     def test_branchless_region_reports_no_direction_misprediction(
-        self, tiny_program, use_packed
+        self, tiny_program, sim_backend
     ):
         trace = self._branchless_taken_trace()
         simulator, _ = design_from_spec(resolve_design("baseline"), tiny_program)
-        result = simulator.run(trace, warmup_fraction=0.0, use_packed=use_packed)
+        result = simulator.run(trace, warmup_fraction=0.0, backend=sim_backend)
         # Half the regions are branchless-with-taken; none may be counted.
         assert result.fetch_regions == 100
         assert result.direction_mispredictions == 0

@@ -419,6 +419,6 @@ class TestFrontendDefaultsToPacked:
         spec = resolve_design("baseline")
         fast_sim, _ = design_from_spec(spec, tiny_program)
         slow_sim, _ = design_from_spec(spec, tiny_program)
-        fast = fast_sim.run(tiny_trace)
-        slow = slow_sim.run(tiny_trace, use_packed=False)
+        fast = fast_sim.run(tiny_trace)  # default backend: scalar, columnar
+        slow = slow_sim.run(tiny_trace, backend="reference")
         assert dataclasses.asdict(fast) == dataclasses.asdict(slow)

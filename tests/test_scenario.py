@@ -308,6 +308,7 @@ class TestZeroCopyCoreFanout:
             history.snapshot(),
             cmp_model._llc_config(),
             None,
+            None,
         )
         assert _replay_core(job) == serial.core_results[1]
 

@@ -41,13 +41,13 @@ class TestRepositoryIsClean:
         assert run_lint([SRC]) == []
 
     def test_kernel_functions_carry_the_marker(self):
+        from repro.backends.scalar import ScalarBackend
         from repro.branch.btb_conventional import ConventionalBTB, PerfectBTB
         from repro.branch.btb_two_level import TwoLevelBTB
         from repro.branch.unit import BranchPredictionUnit
-        from repro.core.frontend import FrontendSimulator
 
         for func in (
-            FrontendSimulator._run_packed,
+            ScalarBackend.run,
             BranchPredictionUnit.predict_region_into,
             ConventionalBTB.lookup_into,
             PerfectBTB.lookup_into,

@@ -53,6 +53,7 @@ class TestCellKey:
         {"spec": resolve_design("confluence")},
         {"profile": get_profile("dss_qry2").scaled(0.08)},
         {"frontend_config": FrontendConfig(base_cpi=1.5)},
+        {"backend": "reference"},
     ])
     def test_any_parameter_change_changes_the_key(self, overrides):
         assert _cell(**overrides).key() != _cell().key()
@@ -82,6 +83,23 @@ class TestCellKey:
             BTB_REGISTRY.register("conventional", original, overwrite=True)
         assert _cell().key() == key_before
 
+    def test_swapping_a_registered_backend_changes_the_key(self):
+        # Same invalidation story for simulation backends: a cached cell
+        # must not survive its backend's implementation changing under it.
+        from repro.backends import BACKEND_REGISTRY, ScalarBackend
+
+        key_before = _cell().key()
+
+        class PatchedScalar(ScalarBackend):
+            pass
+
+        BACKEND_REGISTRY.register("scalar", PatchedScalar, overwrite=True)
+        try:
+            assert _cell().key() != key_before
+        finally:
+            BACKEND_REGISTRY.register("scalar", ScalarBackend, overwrite=True)
+        assert _cell().key() == key_before
+
 
 class TestResultCache:
     def test_round_trip_and_counters(self, tmp_path):
@@ -103,6 +121,16 @@ class TestResultCache:
             {"schema": CACHE_SCHEMA_VERSION + 1, "summary": {"ipc": 1.0}}
         ))
         assert cache.get("c" * 64) is None
+
+    def test_pre_backend_v2_entry_is_a_miss(self, tmp_path):
+        # Schema 2 cells predate the backend field in the key payload and
+        # the summary; schema 3 must treat them as misses, never serve them.
+        assert CACHE_SCHEMA_VERSION == 3
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("d" * 64 + ".json")).write_text(json.dumps(
+            {"schema": 2, "summary": {"ipc": 1.0, "cores": 2}}
+        ))
+        assert cache.get("d" * 64) is None
 
     def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
@@ -440,6 +468,42 @@ class TestSweepParityAndCache:
         bumped = dict(GRID_KW, instructions_per_core=7_000)
         outcome = run_sweep(["oltp_db2"], ["baseline"], cache=cache, **bumped)
         assert outcome.stats.simulated == 1  # different cell, not a stale hit
+
+    def test_backends_do_not_collide_in_the_cache(self, tmp_path):
+        # Same grid on two backends: the backend name is in the cell key, so
+        # neither run may be served the other's cells — and each backend's
+        # own warm rerun must still be free.
+        cache = ResultCache(tmp_path / "cache")
+        scalar = run_sweep(["oltp_db2"], ["baseline"], cache=cache, **GRID_KW)
+        assert scalar.stats.simulated == 1
+
+        reference = run_sweep(
+            ["oltp_db2"], ["baseline"], cache=cache, backend="reference",
+            **GRID_KW
+        )
+        assert reference.stats.simulated == 1  # no cross-backend hit
+        assert reference.stats.cache_hits == 0
+
+        warm = run_sweep(
+            ["oltp_db2"], ["baseline"], cache=cache, backend="reference",
+            **GRID_KW
+        )
+        assert warm.stats.simulated == 0
+        assert warm.stats.cache_hits == 1
+
+        # Backends are bit-exact, so everything but the tag agrees.
+        fast = dict(scalar.summary("oltp_db2", "baseline"))
+        slow = dict(warm.summary("oltp_db2", "baseline"))
+        assert fast.pop("backend") == "scalar"
+        assert slow.pop("backend") == "reference"
+        assert fast == slow
+
+    def test_unknown_backend_rejected_before_simulation(self):
+        from repro.registry import UnknownComponentError
+
+        with pytest.raises(UnknownComponentError, match="unknown backend"):
+            run_sweep(["oltp_db2"], ["baseline"], backend="vector9000",
+                      **GRID_KW)
 
 
 class TestSweepOutcome:
