@@ -15,7 +15,7 @@ trajectory of these numbers, one point per perf PR; refresh it with
 flag *appends* a point, keeping the history).
 """
 
-from repro.backends import backend_names
+from repro.backends import backend_names, get_backend
 from repro.perfbench import run_kernel_benchmark
 
 DESIGNS = ("baseline", "confluence")
@@ -49,14 +49,21 @@ def test_kernel_hotloop(benchmark, bench_scale, bench_instructions,
               f"{row['regions_per_sec']:>12,.0f} regions/s on {row['design']}")
     print(f"  speedup over reference: {payload['speedup_over_reference']:.2f}x, "
           f"peak RSS {payload['peak_rss_kb']} KB")
+    scenario = payload["scenario"]
+    print(f"  {scenario['cores']}-core CMP: scalar "
+          f"{scenario['scalar_regions_per_sec']:,.0f} regions/s, batch "
+          f"{scenario['batch_regions_per_sec']:,.0f} regions/s "
+          f"({scenario['batch_speedup_over_scalar']:.2f}x)")
 
-    # Structure holds at any scale: every design timed, every registered
-    # backend timed, artifact mapped zero-copy, stable schema fields present.
+    # Structure holds at any scale: every design timed, every *available*
+    # registered backend timed (``batch`` drops out without numpy), artifact
+    # mapped zero-copy, stable schema fields present.
     assert [row["design"] for row in payload["designs"]] == list(DESIGNS)
     assert payload["trace"]["mapped"] is True
     assert all(row["regions_per_sec"] > 0 for row in payload["designs"])
     assert {row["backend"] for row in payload["backends"]} \
-        == set(backend_names())
+        == {name for name in backend_names() if get_backend(name).available()}
+    assert scenario["batch_available"] == get_backend("batch").available()
 
     if not shape_assertions:
         return

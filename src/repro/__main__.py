@@ -641,6 +641,8 @@ def _run_backends_command(args: argparse.Namespace) -> int:
             "default": name == DEFAULT_BACKEND,
             "trace form": impl.trace_form,
             "summary": doc[0] if doc else "",
+            "available": impl.available(),
+            "unavailable reason": impl.unavailable_reason(),
         })
 
     if args.as_json:
@@ -649,6 +651,8 @@ def _run_backends_command(args: argparse.Namespace) -> int:
 
     for row in rows:
         marker = " (default)" if row["default"] else ""
+        if not row["available"]:
+            marker += f" (unavailable: {row['unavailable reason']})"
         print(f"{row['name']}{marker}")
         print(f"    trace form: {row['trace form']}")
         if row["summary"]:

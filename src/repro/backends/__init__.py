@@ -19,11 +19,13 @@ from repro.backends.base import (
     get_backend,
     resolve_backend,
 )
+from repro.backends.batch import BatchBackend
 from repro.backends.reference import ReferenceBackend
 from repro.backends.scalar import ScalarBackend
 
 __all__ = [
     "BACKEND_REGISTRY",
+    "BatchBackend",
     "DEFAULT_BACKEND",
     "ReferenceBackend",
     "ScalarBackend",

@@ -15,9 +15,13 @@ The headline numbers:
 
 * ``designs[*].regions_per_sec`` — hot-loop throughput per design on the
   selected backend,
-* ``backends[*].regions_per_sec`` — the first design driven through *every*
-  registered backend (``scalar``, ``reference``, anything user-registered),
-  giving ``speedup_over_reference`` for the selected backend,
+* ``backends[*].regions_per_sec`` — the first design driven through every
+  *available* registered backend (``scalar``, ``reference``, ``batch``,
+  anything user-registered), giving ``speedup_over_reference`` for the
+  selected backend,
+* ``scenario`` — aggregate regions/sec of an 8-core homogeneous CMP on
+  ``scalar`` vs the lane-vectorized ``batch`` backend
+  (``batch_speedup_over_scalar`` is the PR-8 headline metric),
 * ``stages`` — per-stage wall times (generate / save / load),
 * ``peak_rss_kb`` — the process's peak resident set, which the mmap-backed
   trace store is meant to keep flat as worker counts grow.
@@ -54,6 +58,7 @@ __all__ = [
     "format_comparison",
     "load_trajectory",
     "load_trajectory_point",
+    "migrate_trajectory_point",
     "run_kernel_benchmark",
     "schema_signature",
     "schemas_match",
@@ -65,7 +70,12 @@ __all__ = [
 #: (2: pluggable backends — design rows carry ``backend``, the per-backend
 #: ``backends`` table replaces ``record_path``, and ``packed_speedup``
 #: generalizes to ``speedup_over_reference``.)
-BENCH_SCHEMA_VERSION = 2
+#: (3: the ``scenario`` section — aggregate regions/sec of an 8-core
+#: homogeneous CMP on the ``scalar`` and lane-vectorized ``batch`` backends,
+#: plus ``batch_speedup_over_scalar``; unavailable backends are skipped in
+#: the per-backend table instead of crashing the bench.  Schema-1 points
+#: are migrated to schema 2 whenever the trajectory file is rewritten.)
+BENCH_SCHEMA_VERSION = 3
 
 #: (scale, instructions, repeats) operating points: the full point is what
 #: BENCH_kernel.json trajectory entries are recorded at; the smoke point is
@@ -100,6 +110,67 @@ def _time_run(
     start = time.perf_counter()
     result = simulator.run(trace, backend=backend)
     return result, time.perf_counter() - start
+
+
+def _scenario_benchmark(
+    program: object,
+    design: str,
+    instructions: int,
+    repeats: int,
+    cores: int = 8,
+) -> Dict[str, object]:
+    """Aggregate throughput of a ``cores``-core homogeneous CMP.
+
+    The headline comparison the lane-vectorized ``batch`` backend exists
+    for: the same chip driven by ``scalar`` (one core at a time) and by
+    ``batch`` (all co-located cores as lanes of one vectorized call).
+    Traces are generated *before* timing so both sides measure pure
+    simulation; best-of-``repeats`` on each side.  When numpy is absent the
+    batch columns record 0.0 and ``batch_available`` is ``False`` — the
+    schema stays stable either way.
+    """
+    from repro.core.cmp import ChipMultiprocessor
+
+    cmp_ = ChipMultiprocessor(
+        program, cores=cores, instructions_per_core=instructions  # type: ignore[arg-type]
+    )
+    # Pre-generate (and memoize) every core's trace outside the timed region.
+    traces = cmp_._core_traces()
+    regions = sum(len(trace) for trace in traces)
+
+    def _best(run_backend: str) -> float:
+        best_s: Optional[float] = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cmp_.run_design(design, backend=run_backend)
+            elapsed = time.perf_counter() - start
+            best_s = elapsed if best_s is None else min(best_s, elapsed)
+        assert best_s is not None
+        return best_s
+
+    scalar_s = _best("scalar")
+    scalar_rps = regions / scalar_s if scalar_s else 0.0
+    batch_available = get_backend("batch").available()
+    if batch_available:
+        batch_s = _best("batch")
+        batch_rps = regions / batch_s if batch_s else 0.0
+    else:
+        batch_s = 0.0
+        batch_rps = 0.0
+    return {
+        "cores": cores,
+        "design": design,
+        "instructions_per_core": instructions,
+        "regions": regions,
+        "scalar_seconds": scalar_s,
+        "scalar_regions_per_sec": scalar_rps,
+        "batch_available": batch_available,
+        "batch_seconds": batch_s,
+        "batch_regions_per_sec": batch_rps,
+        "batch_speedup_over_scalar": (
+            batch_rps / scalar_rps if scalar_rps and batch_rps else 0.0
+        ),
+    }
 
 
 def run_kernel_benchmark(
@@ -186,12 +257,15 @@ def run_kernel_benchmark(
             "ipc": result.ipc,
         })
 
-    # Every registered backend drives the first design: the per-backend
-    # regions/sec table is what makes a new backend's cost/benefit visible
-    # the moment it registers.
+    # Every *available* registered backend drives the first design: the
+    # per-backend regions/sec table is what makes a new backend's
+    # cost/benefit visible the moment it registers.  A backend missing its
+    # optional dependency (``batch`` without numpy) is skipped, not fatal.
     backend_rows: List[Dict[str, object]] = []
     per_backend_rps: Dict[str, float] = {}
     for name in backend_names():
+        if not get_backend(name).available():
+            continue
         best_s, result = _best_of(specs[0].name, name)
         rps = regions / best_s if best_s else 0.0
         per_backend_rps[name] = rps
@@ -205,6 +279,8 @@ def run_kernel_benchmark(
 
     reference_rps = per_backend_rps.get("reference", 0.0)
     selected_rps = per_backend_rps.get(backend, 0.0)
+
+    scenario_row = _scenario_benchmark(program, specs[0].name, instructions, repeats)
 
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -231,6 +307,7 @@ def run_kernel_benchmark(
         },
         "designs": design_rows,
         "backends": backend_rows,
+        "scenario": scenario_row,
         "speedup_over_reference": (
             selected_rps / reference_rps if reference_rps else 0.0
         ),
@@ -362,6 +439,19 @@ def format_bench_report(payload: Dict[str, object]) -> str:
             "  backend {backend:>10}: {regions_per_sec:>12,.0f} regions/s "
             "on {design}".format(**row)
         )
+    scenario = payload.get("scenario")
+    if isinstance(scenario, dict):
+        lines.append(
+            "  {cores}-core CMP ({design}): scalar "
+            "{scalar_regions_per_sec:,.0f} regions/s".format(**scenario)
+        )
+        if scenario.get("batch_available"):
+            lines.append(
+                "    batch {batch_regions_per_sec:,.0f} regions/s "
+                "({batch_speedup_over_scalar:.2f}x over scalar)".format(**scenario)
+            )
+        else:
+            lines.append("    batch backend unavailable (numpy not installed)")
     lines.append(
         "  speedup over reference backend: "
         f"{payload['speedup_over_reference']:.2f}x"
@@ -396,13 +486,58 @@ def load_trajectory(path: Union[str, Path]) -> List[Dict[str, object]]:
     return _trajectory_points(payload, path)
 
 
+def migrate_trajectory_point(point: Dict[str, object]) -> Dict[str, object]:
+    """Normalize a recorded point to the schema-2 field vocabulary.
+
+    Schema-1 points carry the retired ``packed_speedup`` and ``record_path``
+    fields; both map losslessly onto the schema-2 shape (the record-path row
+    *was* the reference backend's measurement, ``packed_speedup`` *was*
+    ``speedup_over_reference``, and everything ran on the then-only scalar
+    loop).  Later schemas pass through unchanged — schema 3 only *adds* the
+    ``scenario`` section, so 2 and 3 already share the compared vocabulary.
+    """
+    if point.get("schema") != 1:
+        return point
+    migrated = dict(point)
+    record_path = migrated.pop("record_path", None)
+    packed_speedup = migrated.pop("packed_speedup", 0.0)
+    config = dict(migrated.get("config", {}))  # type: ignore[arg-type]
+    config.setdefault("backend", "scalar")
+    migrated["config"] = config
+    design_rows = [
+        {**row, "backend": "scalar"}
+        for row in migrated.get("designs", ())  # type: ignore[union-attr]
+        if isinstance(row, dict)
+    ]
+    migrated["designs"] = design_rows
+    backend_rows: List[Dict[str, object]] = []
+    if isinstance(record_path, dict):
+        backend_rows.append({**record_path, "backend": "reference"})
+    if design_rows:
+        first = dict(design_rows[0])
+        first["backend"] = "scalar"
+        backend_rows.append(first)
+    migrated["backends"] = backend_rows
+    migrated["speedup_over_reference"] = packed_speedup
+    migrated["schema"] = 2
+    return migrated
+
+
 def load_trajectory_point(path: Union[str, Path]) -> Dict[str, object]:
-    """Read the latest committed trajectory point (schema-checked)."""
-    latest = load_trajectory(path)[-1]
-    if latest.get("schema") != BENCH_SCHEMA_VERSION:
+    """Read the latest committed trajectory point, migrated and checked.
+
+    Schema-1 points are migrated on the fly
+    (:func:`migrate_trajectory_point`); any point from schema 2 on shares
+    the compared vocabulary (per-design ``regions_per_sec`` rows) and is
+    accepted, so ``bench --compare`` works like-for-like across schema
+    versions instead of rejecting history recorded by older builds.
+    """
+    latest = migrate_trajectory_point(load_trajectory(path)[-1])
+    schema = latest.get("schema")
+    if not isinstance(schema, int) or not 2 <= schema <= BENCH_SCHEMA_VERSION:
         raise ValueError(
-            f"latest point in {path} is not a schema-{BENCH_SCHEMA_VERSION} "
-            "bench trajectory point"
+            f"latest point in {path} is not a known bench trajectory point "
+            f"(schema {schema!r}, supported 2..{BENCH_SCHEMA_VERSION})"
         )
     return latest
 
@@ -414,13 +549,16 @@ def append_trajectory_point(
 
     Creates the file when missing; a pre-trajectory single-point file is
     upgraded in place (its recorded point becomes the history's first
-    entry).  The write is atomic (temp file + rename), the ``put`` idiom of
-    the result cache.
+    entry), and recorded schema-1 points are normalized to schema 2
+    (:func:`migrate_trajectory_point`) so the retired ``packed_speedup``/
+    ``record_path`` vocabulary drops out of the history whenever the file
+    is rewritten.  The write is atomic (temp file + rename), the ``put``
+    idiom of the result cache.
     """
     path = Path(path)
     points: List[Dict[str, object]] = []
     if path.exists():
-        points = load_trajectory(path)
+        points = [migrate_trajectory_point(point) for point in load_trajectory(path)]
     points.append(dict(payload))
     document = {"bench": "kernel_hotloop", "points": points}
     handle, tmp_name = tempfile.mkstemp(

@@ -92,7 +92,9 @@ __all__ = [
 #: entries written under another schema are ignored, never misread.
 #: (2: scenario cells — summaries carry scenario/core_profiles/per_profile.)
 #: (3: the simulation backend joins the cell key and the summary.)
-CACHE_SCHEMA_VERSION = 3
+#: (4: the ``batch`` lane-vectorized backend and the CMP lane-grouped
+#: dispatch land; cells simulated by earlier builds must re-earn.)
+CACHE_SCHEMA_VERSION = 4
 
 #: Joins the trace-store key: bumped whenever trace *generation* changes
 #: meaning (the walker's algorithm or the packed column semantics), so stale

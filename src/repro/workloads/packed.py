@@ -75,10 +75,9 @@ from repro.isa.instruction import (
 if TYPE_CHECKING:  # import cycle guard: trace.py imports this module
     from repro.workloads.trace import FetchRecord
 
-try:  # pragma: no cover - exercised indirectly where numpy is installed
-    import numpy as _np
-except ImportError:  # pragma: no cover - the array path is the reference
-    _np = None
+# Optional-numpy dance lives in one place; ``_np`` is None when absent and
+# the array path below is the reference.
+from repro._np import np as _np
 
 __all__ = [
     "KIND_CODES",

@@ -43,10 +43,9 @@ from repro.workloads.packed import (
     kind_from_code,
 )
 
-try:  # pragma: no cover - exercised indirectly where numpy is installed
-    import numpy as _np
-except ImportError:  # pragma: no cover - the pure path is the reference
-    _np = None
+# Optional-numpy dance lives in one place; ``_np`` is None when absent and
+# the pure path below is the reference.
+from repro._np import np as _np
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,20 @@
+"""R001 fixture: numpy allocation inside a ``@hot_loop`` lockstep kernel.
+
+The seeded violation is the ``np.equal`` call in the round loop *without*
+``out=`` — it allocates a fresh boolean array every iteration.  The
+allow-pattern (a buffer preallocated in the prelude, filled in place via
+``out=``) is what the real batch kernel uses.
+"""
+
+import numpy as np
+
+from repro.staticcheck.markers import hot_loop
+
+
+@hot_loop
+def lockstep(tags, keys, rounds):
+    hits = np.zeros(len(keys), dtype=bool)  # prelude allocation is fine
+    for _ in range(rounds):
+        equal = np.equal(tags, keys)  # seeded violation: fresh array per round
+        hits |= equal.any(axis=1)
+    return hits

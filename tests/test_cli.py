@@ -108,7 +108,7 @@ class TestBenchCommand:
     ]
 
     def test_bench_appends_a_stable_schema_point(self, tmp_path, capsys):
-        from repro.backends import backend_names
+        from repro.backends import backend_names, get_backend
         from repro.perfbench import BENCH_SCHEMA_VERSION
 
         out = tmp_path / "bench.json"
@@ -125,8 +125,12 @@ class TestBenchCommand:
         assert payload["designs"][0]["backend"] == "scalar"
         assert payload["designs"][0]["regions_per_sec"] > 0
         assert {row["backend"] for row in payload["backends"]} \
-            == set(backend_names())
+            == {name for name in backend_names()
+                if get_backend(name).available()}
         assert payload["speedup_over_reference"] > 0
+        assert payload["scenario"]["scalar_regions_per_sec"] > 0
+        assert payload["scenario"]["batch_available"] \
+            == get_backend("batch").available()
         assert payload["peak_rss_kb"] > 0
 
     def test_json_appends_to_an_existing_trajectory(self, tmp_path, capsys):
@@ -188,6 +192,60 @@ class TestBenchCommand:
         assert code == 1
         # The regressed run must not have been recorded into the file.
         assert len(json.loads(out.read_text())["points"]) == 1
+
+    @staticmethod
+    def _schema1_point():
+        # The retired schema-1 vocabulary: packed_speedup + record_path,
+        # no per-row backend, no backends table.
+        return {
+            "schema": 1, "bench": "kernel_hotloop",
+            "config": {"profile": "oltp_db2", "scale": 0.05,
+                       "instructions": 2000, "seed": 3,
+                       "designs": ["baseline"], "repeats": 1},
+            "trace": {"regions": 100, "instructions": 2000,
+                      "artifact_bytes": 1, "mapped": True},
+            "stages": {"generate_s": 0.1, "save_s": 0.1, "load_s": 0.1},
+            "designs": [{"design": "baseline", "seconds": 0.5,
+                         "regions_per_sec": 200.0, "ipc": 0.7}],
+            "packed_speedup": 1.5,
+            "record_path": {"design": "baseline", "seconds": 0.75,
+                            "regions_per_sec": 133.0, "ipc": 0.7},
+            "peak_rss_kb": 1000,
+            "host": {"python": "3.11", "platform": "linux",
+                     "machine": "x86_64"},
+        }
+
+    def test_compare_works_against_a_schema1_point(self, tmp_path, capsys):
+        # The satellite bugfix: old points compare like-for-like on their
+        # per-design regions/sec rows instead of KeyErroring.
+        out = tmp_path / "bench.json"
+        out.write_text(json.dumps(
+            {"bench": "kernel_hotloop", "points": [self._schema1_point()]}
+        ))
+        code = main(self.BENCH_ARGS + ["--compare", str(out),
+                                       "--tolerance", "0.000001"])
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_append_migrates_the_schema1_seed_point(self, tmp_path, capsys):
+        from repro.perfbench import BENCH_SCHEMA_VERSION
+
+        out = tmp_path / "bench.json"
+        out.write_text(json.dumps(
+            {"bench": "kernel_hotloop", "points": [self._schema1_point()]}
+        ))
+        assert main(self.BENCH_ARGS + ["--json", str(out)]) == 0
+        capsys.readouterr()
+        points = json.loads(out.read_text())["points"]
+        assert [point["schema"] for point in points] == [2, BENCH_SCHEMA_VERSION]
+        migrated = points[0]
+        assert "packed_speedup" not in migrated
+        assert "record_path" not in migrated
+        assert migrated["speedup_over_reference"] == 1.5
+        assert migrated["config"]["backend"] == "scalar"
+        assert [row["backend"] for row in migrated["designs"]] == ["scalar"]
+        assert {row["backend"] for row in migrated["backends"]} \
+            == {"reference", "scalar"}
 
     def test_expect_schema_accepts_an_equivalent_run(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -329,6 +387,23 @@ class TestBackendsCommand:
         assert rows[DEFAULT_BACKEND]["default"] is True
         assert rows["reference"]["default"] is False
         assert rows["scalar"]["trace form"] == "columnar (.packed)"
+        assert rows["scalar"]["available"] is True
+        assert rows["scalar"]["unavailable reason"] is None
+
+    def test_unavailable_backend_is_annotated(self, capsys, monkeypatch):
+        import repro._np
+        import repro.backends.batch
+
+        monkeypatch.setattr(repro._np, "np", None)
+        monkeypatch.setattr(repro.backends.batch, "np", None)
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "batch (unavailable: numpy is not installed)" in out
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = {row["name"]: row for row in payload["backends"]}
+        assert rows["batch"]["available"] is False
+        assert rows["batch"]["unavailable reason"] == "numpy is not installed"
 
 
 class TestSweepScenarios:

@@ -41,6 +41,7 @@ class TestRepositoryIsClean:
         assert run_lint([SRC]) == []
 
     def test_kernel_functions_carry_the_marker(self):
+        from repro.backends.batch import _lockstep_rounds
         from repro.backends.scalar import ScalarBackend
         from repro.branch.btb_conventional import ConventionalBTB, PerfectBTB
         from repro.branch.btb_two_level import TwoLevelBTB
@@ -52,6 +53,7 @@ class TestRepositoryIsClean:
             ConventionalBTB.lookup_into,
             PerfectBTB.lookup_into,
             TwoLevelBTB.lookup_into,
+            _lockstep_rounds,
         ):
             assert getattr(func, HOT_LOOP_ATTRIBUTE, False), func.__qualname__
 
@@ -61,6 +63,7 @@ class TestFixturesTrigger:
         "target, rule",
         [
             ("r001_hot_alloc.py", "R001"),
+            ("r001_numpy_alloc.py", "R001"),
             ("r002", "R002"),
             ("r003", "R003"),
             ("r004", "R004"),
@@ -133,6 +136,60 @@ class TestRuleBehavior:
         )
         assert [f.rule for f in findings] == ["R001"]
         assert "constructs an object" in findings[0].message
+
+    def test_r001_numpy_call_without_out_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            from repro.staticcheck.markers import hot_loop
+
+            @hot_loop
+            def kernel(tags, keys, rounds):
+                for _ in range(rounds):
+                    hits = np.equal(tags, keys)
+                return hits
+            """,
+        )
+        assert [f.rule for f in findings] == ["R001"]
+        assert "pass out=" in findings[0].message
+
+    def test_r001_numpy_out_keyword_is_the_allow_pattern(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            from repro.staticcheck.markers import hot_loop
+
+            @hot_loop
+            def kernel(tags, keys, rounds):
+                hits = np.empty(tags.shape, dtype=bool)  # prelude: allowed
+                for _ in range(rounds):
+                    np.equal(tags, keys, out=hits)
+                return hits
+            """,
+        )
+        assert findings == []
+
+    def test_r001_index_tuples_are_not_tuple_displays(self, tmp_path):
+        # tags[rows, ways] parses as a Load-context Tuple inside the
+        # Subscript slice; it is numpy advanced indexing, not an allocation.
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.staticcheck.markers import hot_loop
+
+            @hot_loop
+            def kernel(tags, rows, ways, keys, rounds):
+                for _ in range(rounds):
+                    tags[rows, ways] = keys
+                    keys = tags[ways, rows]
+                return tags
+            """,
+        )
+        assert findings == []
 
     def test_r002_seeded_rng_is_allowed(self, tmp_path):
         findings = lint_source(

@@ -122,15 +122,17 @@ class TestResultCache:
         ))
         assert cache.get("c" * 64) is None
 
-    def test_pre_backend_v2_entry_is_a_miss(self, tmp_path):
-        # Schema 2 cells predate the backend field in the key payload and
-        # the summary; schema 3 must treat them as misses, never serve them.
-        assert CACHE_SCHEMA_VERSION == 3
+    def test_pre_batch_entry_is_a_miss(self, tmp_path):
+        # Schema 2 cells predate the backend field; schema 3 cells predate
+        # the batch backend and the CMP lane-grouped dispatch.  Schema 4
+        # must treat both as misses, never serve them.
+        assert CACHE_SCHEMA_VERSION == 4
         cache = ResultCache(tmp_path)
-        (tmp_path / ("d" * 64 + ".json")).write_text(json.dumps(
-            {"schema": 2, "summary": {"ipc": 1.0, "cores": 2}}
-        ))
-        assert cache.get("d" * 64) is None
+        for fill, stale in (("d", 2), ("e", 3)):
+            (tmp_path / (fill * 64 + ".json")).write_text(json.dumps(
+                {"schema": stale, "summary": {"ipc": 1.0, "cores": 2}}
+            ))
+            assert cache.get(fill * 64) is None
 
     def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
