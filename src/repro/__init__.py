@@ -107,13 +107,16 @@ from repro.core import (
     resolve_design,
 )
 from repro.api import RunReport, Session, reports_from_sweep, run_grid
+from repro.resilience import CellExecutionError, RetryPolicy, RunJournal
 from repro.sweep import (
+    CorruptArtifactWarning,
     ResultCache,
     SweepCell,
     SweepOutcome,
     SweepStats,
     TraceStore,
     default_cache_dir,
+    default_journal_dir,
     default_trace_dir,
     run_sweep,
 )
@@ -170,7 +173,11 @@ __all__ = [
     "Session",
     "run_grid",
     "reports_from_sweep",
+    "CellExecutionError",
+    "CorruptArtifactWarning",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
     "SweepCell",
     "SweepOutcome",
     "SweepStats",
@@ -179,6 +186,7 @@ __all__ = [
     "Trace",
     "load_packed",
     "default_cache_dir",
+    "default_journal_dir",
     "default_trace_dir",
     "run_sweep",
 ]

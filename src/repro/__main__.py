@@ -70,16 +70,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import TYPE_CHECKING, Iterator, List, Optional, Set
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Union
 
 from repro.analysis.reporting import format_table
 from repro.api import reports_from_sweep
 from repro.backends import DEFAULT_BACKEND
 from repro.core.designs import DESIGN_POINTS
+from repro.resilience import CellExecutionError, RetryPolicy
 from repro.sweep import (
     ResultCache,
     TraceStore,
     default_cache_dir,
+    default_journal_dir,
     default_trace_dir,
     run_sweep,
 )
@@ -152,6 +154,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the on-disk trace store (always generate)")
     sweep.add_argument("--expect-trace-cached", action="store_true",
                        help="fail (exit 1) if any trace had to be generated")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="re-executions allowed per failed cell "
+                            "(deterministic backoff; default 2)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock bound per pooled cell attempt "
+                            "(default: none)")
+    sweep.add_argument("--journal-dir", default=None,
+                       help="run-journal directory for crash resume "
+                            f"(default: {default_journal_dir()})")
+    sweep.add_argument("--no-journal", action="store_true",
+                       help="disable the append-only run journal")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay a killed run's journal: cells it "
+                            "completed are not re-simulated")
     sweep.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the reports as JSON instead of tables")
     sweep.set_defaults(handler=_run_sweep_command)
@@ -302,6 +319,20 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         trace_store = None
     else:
         trace_store = TraceStore(args.trace_dir)
+    if args.resume and args.no_journal:
+        print("sweep: --resume requires the journal (drop --no-journal)",
+              file=sys.stderr)
+        return 2
+    journal: Union[bool, str] = True
+    if args.no_journal:
+        journal = False
+    elif args.journal_dir is not None:
+        journal = args.journal_dir
+    try:
+        policy = RetryPolicy(retries=args.retries, cell_timeout=args.cell_timeout)
+    except ValueError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
     profiles = args.profiles
     if profiles is None:
         # A scenarios-only invocation sweeps just the scenarios; the
@@ -320,12 +351,22 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             trace_store=trace_store,
             scenarios=args.scenarios,
             backend=args.backend,
+            policy=policy,
+            journal=journal,
+            resume=args.resume,
         )
     except KeyError as error:
         # Unknown profile/scenario/design names arrive as KeyErrors with a
         # "known: ..." listing; usage errors exit 2, like argparse's own.
         print(f"sweep: {error}", file=sys.stderr)
         return 2
+    except CellExecutionError as error:
+        # A cell failed past its retry budget; completed cells kept their
+        # cache/journal entries, so re-running with --resume picks up here.
+        print(f"sweep: {error}", file=sys.stderr)
+        print("sweep: completed cells were journaled; re-run with --resume "
+              "to continue", file=sys.stderr)
+        return 1
     except OSError as error:
         # A cache or trace-store directory that cannot be created, read or
         # written (e.g. $REPRO_TRACE_DIR under a missing or read-only path)
@@ -344,6 +385,11 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
                 "traces_generated": outcome.stats.traces_generated,
                 "traces_loaded": outcome.stats.traces_loaded,
                 "traces_mapped": outcome.stats.traces_mapped,
+                "retried": outcome.stats.retried,
+                "timed_out": outcome.stats.timed_out,
+                "quarantined": outcome.stats.quarantined,
+                "resumed": outcome.stats.resumed,
+                "pool_rebuilds": outcome.stats.pool_rebuilds,
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -370,6 +416,13 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             f"traces: {outcome.stats.traces_generated} generated, "
             f"{outcome.stats.traces_loaded} loaded from store "
             f"({outcome.stats.traces_mapped} zero-copy mmap){trace_where}"
+        )
+        print(
+            f"resilience: {outcome.stats.retried} retried, "
+            f"{outcome.stats.timed_out} timed out, "
+            f"{outcome.stats.pool_rebuilds} pool rebuilds, "
+            f"{outcome.stats.quarantined} quarantined, "
+            f"{outcome.stats.resumed} resumed from journal"
         )
 
     if args.expect_cached and outcome.stats.simulated:

@@ -36,6 +36,7 @@ from repro.core.cmp import ChipMultiprocessor
 from repro.core.designs import DesignSpec, resolve_design
 from repro.core.frontend import FrontendConfig
 from repro.registry import ensure_unique_names
+from repro.resilience import RetryPolicy
 from repro.sweep import (
     ResultCache,
     SweepCell,
@@ -194,6 +195,10 @@ class Session:
             ``"scalar"``, the zero-allocation columnar loop).  The name
             joins every cell's cache key, so sessions on different backends
             never share cache entries.
+        retry_policy: resilience knobs for every :meth:`run` — bounded
+            retry with deterministic backoff, per-cell timeouts and pool
+            rebuilds (see :class:`repro.resilience.RetryPolicy` and
+            ``docs/resilience.md``).  ``None`` uses the defaults.
     """
 
     def __init__(
@@ -209,6 +214,7 @@ class Session:
         trace_store: Union[None, bool, str, Path, TraceStore] = None,
         scenario: Union[None, str, Scenario, BoundScenario] = None,
         backend: str = DEFAULT_BACKEND,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         # Fail on unknown backend names at construction, not mid-run.
         get_backend(backend)
@@ -242,6 +248,7 @@ class Session:
         self.workers = workers
         self.cache = ResultCache.coerce(cache)
         self.trace_store = TraceStore.coerce(trace_store)
+        self.retry_policy = retry_policy
         self._program: Optional[SyntheticProgram] = None
         self._cmp: Optional[ChipMultiprocessor] = None
 
@@ -323,7 +330,8 @@ class Session:
         collapse report rows).  ``baseline`` names the speedup reference; it
         defaults to ``"baseline"`` when present, else the first design.
         Cells execute through :mod:`repro.sweep`, so the session's ``cache``
-        serves unchanged design points from disk.
+        serves unchanged design points from disk and the session's
+        ``retry_policy`` governs fault handling.
         """
         if isinstance(designs, (str, DesignSpec)):
             designs = [designs]
@@ -348,7 +356,11 @@ class Session:
             for spec in specs
         ]
         summaries, _ = run_cells(
-            cells, workers=workers, cache=self.cache, trace_store=self.trace_store
+            cells,
+            workers=workers,
+            cache=self.cache,
+            trace_store=self.trace_store,
+            policy=self.retry_policy,
         )
         return _assemble_report(
             profile=self.workload_name,

@@ -42,8 +42,10 @@ from repro.core.area import FrontendAreaReport
 from repro.core.designs import DesignSpec, design_from_spec, resolve_design
 from repro.core.frontend import FrontendConfig, FrontendResult, FrontendSimulator
 from repro.core.metrics import mpki
+from repro.faultinject import injection_point
 from repro.prefetch.shift import ShiftHistory
 from repro.registry import ensure_unique_names
+from repro.resilience import CellExecutionError
 from repro.workloads.cfg import SyntheticProgram, workload_program
 from repro.workloads.generator import generate_trace
 from repro.workloads.packed import load_packed
@@ -60,8 +62,11 @@ if TYPE_CHECKING:  # import cycle guard: sweep.py imports this module
 
 #: One replaying core's pickled work order: (spec, program, inline trace,
 #: artifact path, trace name, shared-history snapshot, LLC geometry, config,
-#: simulation backend).  Registered backends travel as their *name*; a
-#: stateless ad-hoc instance pickles by reference and works too.
+#: simulation backend, human label).  Registered backends travel as their
+#: *name*; a stateless ad-hoc instance pickles by reference and works too.
+#: The label names the (profile, core, seed, design) so a worker failure
+#: surfaces as a :class:`~repro.resilience.CellExecutionError` that
+#: identifies the dead core instead of an anonymous worker traceback.
 _ReplayJob = Tuple[
     DesignSpec,
     SyntheticProgram,
@@ -72,6 +77,7 @@ _ReplayJob = Tuple[
     LLCConfig,
     Optional[FrontendConfig],
     Union[str, "SimBackend", None],
+    str,
 ]
 
 
@@ -175,22 +181,36 @@ def _replay_core(job: _ReplayJob) -> FrontendResult:
     path's.  When the trace lives in a store, the job carries its artifact
     *path* and the worker mmaps it — all workers share one page-cache copy
     instead of receiving pickled heap columns.
+
+    Any failure is wrapped in a :class:`CellExecutionError` naming the
+    core's (profile, core index, seed, design), so the parent never sees an
+    anonymous worker traceback.
     """
     (spec, program, trace, trace_path, trace_name,
-     history_state, llc_config, frontend_config, backend) = job
-    if trace is None:
-        trace = Trace.from_packed(load_packed(trace_path, mmap=True), name=trace_name)
-    llc = SharedLLC(llc_config)
-    shared_history = ShiftHistory.restore(history_state, llc=llc)
-    simulator, _ = design_from_spec(
-        spec,
-        program,
-        llc=llc,
-        shared_history=shared_history,
-        frontend_config=frontend_config,
-        record_history=False,
-    )
-    return simulator.run(trace, backend=backend)
+     history_state, llc_config, frontend_config, backend, label) = job
+    try:
+        injection_point("cmp:replay_core", label=label)
+        if trace is None:
+            trace = Trace.from_packed(
+                load_packed(trace_path, mmap=True), name=trace_name
+            )
+        llc = SharedLLC(llc_config)
+        shared_history = ShiftHistory.restore(history_state, llc=llc)
+        simulator, _ = design_from_spec(
+            spec,
+            program,
+            llc=llc,
+            shared_history=shared_history,
+            frontend_config=frontend_config,
+            record_history=False,
+        )
+        return simulator.run(trace, backend=backend)
+    except CellExecutionError:
+        raise
+    except Exception as error:
+        raise CellExecutionError(
+            f"replay worker for {label} failed: {type(error).__name__}: {error}"
+        ) from error
 
 
 def _fork_context() -> Optional["BaseContext"]:
@@ -529,6 +549,8 @@ class ChipMultiprocessor:
                     self._llc_config(),
                     self.frontend_config,
                     backend,
+                    f"{workload.profile.name}/core{index}"
+                    f"[seed={workload.seed}] design={spec.name}",
                 ))
             pool_size = min(workers, len(jobs))
             with ProcessPoolExecutor(

@@ -13,6 +13,7 @@ from repro.staticcheck.rules import (  # noqa: F401  (imported for registration)
     r003_cache_keys,
     r004_pickle_boundary,
     r005_registry_wiring,
+    r006_retry_loops,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "r003_cache_keys",
     "r004_pickle_boundary",
     "r005_registry_wiring",
+    "r006_retry_loops",
 ]

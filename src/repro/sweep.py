@@ -27,6 +27,18 @@ nearly free:
   (default ``<cache dir>/traces``); ``SweepStats.traces_generated`` /
   ``traces_loaded`` make its behavior observable, mirroring the result
   cache's counters.
+* Execution is **fault tolerant and crash resumable** (see
+  ``docs/resilience.md``).  The pooled scheduler streams every finished
+  cell straight into the cache and the sweep's :class:`RunJournal` instead
+  of waiting for the whole grid, retries failed cells under a bounded
+  deterministic :class:`RetryPolicy`, survives ``BrokenProcessPool`` by
+  rebuilding the pool and requeueing only unfinished cells (degrading to
+  the serial path after repeated failures), and bounds each attempt's
+  wall-clock with a per-cell timeout watchdog.  Both stores checksum their
+  artifacts and quarantine corrupt files to ``*.corrupt``
+  (:class:`CorruptArtifactWarning`) rather than silently missing — or
+  crashing mid-``mmap``.  ``python -m repro sweep --resume`` replays a
+  killed sweep's journal and simulates exactly the missing cells.
 
 :func:`run_sweep` is the high-level entry point; ``repro.api.run_grid`` and
 :class:`repro.api.Session` are built on top of it, and
@@ -45,32 +57,56 @@ import inspect
 import json
 import os
 import tempfile
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.backends.base import BACKEND_REGISTRY, DEFAULT_BACKEND, get_backend
 from repro.core.cmp import ChipMultiprocessor, CMPResult, _fork_context
 from repro.core.designs import DesignSpec, resolve_design
 from repro.core.frontend import FrontendConfig
+from repro.faultinject import injection_point
 from repro.registry import (
     BTB_REGISTRY,
     PREFETCHER_REGISTRY,
     Registry,
     ensure_unique_names,
 )
+from repro.resilience import CellExecutionError, RetryPolicy, RunJournal
 from repro.workloads.cfg import clear_program_memo, workload_program
 from repro.workloads.packed import PACKED_TRACE_FORMAT_VERSION, load_packed
 from repro.workloads.profiles import WorkloadProfile, get_profile
 from repro.workloads.scenario import BoundScenario, Scenario, resolve_scenario
 from repro.workloads.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.context import BaseContext
+
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "CellExecutionError",
+    "CorruptArtifactWarning",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
     "SweepCell",
     "SweepOutcome",
     "SweepStats",
@@ -79,6 +115,7 @@ __all__ = [
     "clear_workload_memo",
     "cmp_driver",
     "default_cache_dir",
+    "default_journal_dir",
     "default_trace_dir",
     "run_cells",
     "run_sweep",
@@ -94,12 +131,27 @@ __all__ = [
 #: (3: the simulation backend joins the cell key and the summary.)
 #: (4: the ``batch`` lane-vectorized backend and the CMP lane-grouped
 #: dispatch land; cells simulated by earlier builds must re-earn.)
-CACHE_SCHEMA_VERSION = 4
+#: (5: checksummed payloads — entries carry an integrity checksum verified
+#: on load; earlier entries are plain schema misses, never quarantined.)
+CACHE_SCHEMA_VERSION = 5
 
 #: Joins the trace-store key: bumped whenever trace *generation* changes
 #: meaning (the walker's algorithm or the packed column semantics), so stale
 #: artifacts miss instead of being replayed as current.
 TRACE_SCHEMA_VERSION = 1
+
+
+class CorruptArtifactWarning(UserWarning):
+    """A store artifact failed integrity checks and was quarantined.
+
+    Emitted (once per artifact — quarantining moves the file aside) by
+    :meth:`ResultCache.get` and :meth:`TraceStore.load` when an entry is
+    unreadable, structurally wrong or fails its checksum.  The artifact is
+    renamed to ``<name>.corrupt`` so a flaky disk can't cause unbounded
+    re-simulation, and the load degrades to a counted miss — never an
+    exception.  Absent files and stale schema versions are ordinary misses,
+    not corruption.
+    """
 
 
 # --------------------------------------------------------------------------- #
@@ -114,6 +166,11 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def default_journal_dir() -> Path:
+    """Where sweep :class:`RunJournal` files live: ``<cache dir>/journal``."""
+    return default_cache_dir() / "journal"
+
+
 def _jsonable(value: object) -> object:
     """Canonical plain-data form of cell parameters (dataclasses, mappings)."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -126,6 +183,36 @@ def _jsonable(value: object) -> object:
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
     return value
+
+
+def _summary_checksum(summary: Mapping[str, object]) -> str:
+    """Integrity checksum of one cached summary (stable across JSON round-trips)."""
+    canonical = json.dumps(dict(summary), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _file_sha256(path: Union[str, Path]) -> str:
+    """Streaming SHA-256 of a file's bytes (trace artifacts can be large)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _quarantine_file(path: Path) -> Optional[Path]:
+    """Move a corrupt artifact to ``<name>.corrupt``; best-effort, never raises.
+
+    Returns the quarantine path, or ``None`` when the move itself failed
+    (e.g. the file vanished concurrently) — the caller still counts and
+    warns either way.
+    """
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
 
 
 #: Per-process memo of component-factory fingerprints, keyed by the factory
@@ -201,14 +288,21 @@ class ResultCache:
     """On-disk JSON store of cell summaries, one file per content hash.
 
     Writes are atomic (temp file + rename) so concurrent sweeps sharing a
-    cache directory can only ever observe complete entries.  ``hits`` and
-    ``misses`` count :meth:`get` outcomes for observability.
+    cache directory can only ever observe complete entries.  Entries carry a
+    checksum of their summary, verified on :meth:`get`; an entry that is
+    unreadable, structurally wrong or checksum-mismatched is **quarantined**
+    (renamed to ``*.corrupt``, warned via :class:`CorruptArtifactWarning`,
+    counted in ``quarantined``) and served as a miss.  A missing file or a
+    stale ``schema`` is an ordinary miss.  ``hits`` and ``misses`` count
+    :meth:`get` outcomes for observability.
     """
 
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries moved aside by :meth:`get`.
+        self.quarantined = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.directory)!r}, hits={self.hits}, misses={self.misses})"
@@ -234,28 +328,66 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantined += 1
+        moved = _quarantine_file(path)
+        where = f" (moved to {moved.name})" if moved is not None else ""
+        warnings.warn(
+            f"quarantined corrupt cache entry {path.name}: {reason}{where}",
+            CorruptArtifactWarning,
+            stacklevel=3,
+        )
+
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """Load a cached summary, or ``None`` on miss/corruption/stale schema."""
+        """Load a cached summary, or ``None`` on miss.
+
+        Absent entries and stale schema versions miss silently; unreadable
+        or checksum-mismatched entries are quarantined (see
+        :class:`CorruptArtifactWarning`) and then miss.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), encoding="utf-8") as handle:
+            injection_point("cache:get", label=key)
+            with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except (FileNotFoundError, NotADirectoryError):
+            # Absent entry — or an unusable store directory, which is not an
+            # artifact's fault and must not read as a quarantine.
             self.misses += 1
             return None
+        except (OSError, ValueError) as error:
+            self._quarantine(path, f"unreadable entry ({type(error).__name__})")
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "entry is not a JSON object")
+            self.misses += 1
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            # Another build's entry: a legitimate miss, not corruption.
+            self.misses += 1
+            return None
+        summary = payload.get("summary")
         if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != CACHE_SCHEMA_VERSION
-            or "summary" not in payload
+            not isinstance(summary, dict)
+            or payload.get("checksum") != _summary_checksum(summary)
         ):
+            self._quarantine(path, "entry failed its checksum")
             self.misses += 1
             return None
         self.hits += 1
-        return payload["summary"]
+        return summary
 
     def put(self, key: str, summary: Mapping[str, object]) -> Path:
         """Store one cell summary atomically; returns the entry's path."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "summary": dict(summary)}
+        summary = dict(summary)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "summary": summary,
+            "checksum": _summary_checksum(summary),
+        }
         handle, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".json"
         )
@@ -308,8 +440,14 @@ class TraceStore:
     every design sharing a profile — and every future run, in any process —
     maps the artifact back in through :meth:`load` instead of re-walking the
     generator.  Writes are atomic (temp file + rename), so sweeps sharing a
-    store can only observe complete artifacts.  ``hits``/``misses`` count
-    :meth:`load` outcomes for observability.
+    store can only observe complete artifacts.  Each artifact gets a
+    ``<name>.sum`` sidecar with its SHA-256, verified before the columns are
+    mapped; a truncated, bit-flipped or otherwise unreadable artifact is
+    **quarantined** to ``*.corrupt`` (with its sidecar), warned via
+    :class:`CorruptArtifactWarning`, counted in ``quarantined`` and served
+    as a miss — never a crash mid-``mmap``.  Artifacts without a sidecar
+    (written by earlier builds) get structural checks only.
+    ``hits``/``misses`` count :meth:`load` outcomes for observability.
     """
 
     def __init__(
@@ -324,6 +462,8 @@ class TraceStore:
         self.misses = 0
         #: How many :meth:`load` hits were served zero-copy (mmap-backed).
         self.mapped = 0
+        #: Corrupt artifacts moved aside by :meth:`load`.
+        self.quarantined = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -349,6 +489,10 @@ class TraceStore:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.trace"
 
+    @staticmethod
+    def _checksum_path(path: Path) -> Path:
+        return path.with_name(path.name + ".sum")
+
     def path_for(self, profile: WorkloadProfile, instructions: int, seed: int) -> Path:
         """The artifact path for (profile, instructions, seed).
 
@@ -358,6 +502,17 @@ class TraceStore:
         """
         return self._path(trace_key(profile, instructions, seed))
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantined += 1
+        moved = _quarantine_file(path)
+        _quarantine_file(self._checksum_path(path))
+        where = f" (moved to {moved.name})" if moved is not None else ""
+        warnings.warn(
+            f"quarantined corrupt trace artifact {path.name}: {reason}{where}",
+            CorruptArtifactWarning,
+            stacklevel=3,
+        )
+
     def load(
         self,
         profile: WorkloadProfile,
@@ -365,15 +520,36 @@ class TraceStore:
         seed: int,
         name: Optional[str] = None,
     ) -> Optional[Trace]:
-        """Map a stored trace back in, or ``None`` on miss/corruption.
+        """Map a stored trace back in, or ``None`` on miss.
 
-        ``name`` overrides the stored trace name (per-core names differ even
-        when the underlying artifact is shared across runs).
+        The artifact's ``.sum`` sidecar (when present) is verified before
+        the columns are mapped; a checksum mismatch or an unreadable
+        artifact is quarantined (see :class:`CorruptArtifactWarning`) and
+        served as a miss.  ``name`` overrides the stored trace name
+        (per-core names differ even when the underlying artifact is shared
+        across runs).
         """
-        path = self._path(trace_key(profile, instructions, seed))
+        key = trace_key(profile, instructions, seed)
+        path = self._path(key)
         try:
+            injection_point("trace:load", label=key)
+            expected: Optional[str] = None
+            try:
+                expected = self._checksum_path(path).read_text(
+                    encoding="utf-8"
+                ).strip()
+            except FileNotFoundError:
+                expected = None  # legacy artifact predating checksums
+            if expected is not None and _file_sha256(path) != expected:
+                raise ValueError("artifact does not match its stored checksum")
             packed = load_packed(path, mmap=self.mmap)
-        except (OSError, ValueError):
+        except (FileNotFoundError, NotADirectoryError):
+            # Absent artifact — or an unusable store directory, which is not
+            # an artifact's fault and must not read as a quarantine.
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            self._quarantine(path, str(error) or type(error).__name__)
             self.misses += 1
             return None
         self.hits += 1
@@ -388,7 +564,12 @@ class TraceStore:
         seed: int,
         trace: Trace,
     ) -> Path:
-        """Store one trace atomically; returns the artifact's path."""
+        """Store one trace atomically; returns the artifact's path.
+
+        The checksum sidecar is written (atomically) after the artifact, so
+        a crash between the two leaves a loadable legacy-style artifact,
+        never a mismatched pair.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         key = trace_key(profile, instructions, seed)
         handle, tmp_name = tempfile.mkstemp(
@@ -397,10 +578,22 @@ class TraceStore:
         os.close(handle)
         try:
             trace.packed.save(tmp_name)
+            digest = _file_sha256(tmp_name)
             os.replace(tmp_name, self._path(key))
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
+            raise
+        sum_handle, sum_tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".sum"
+        )
+        try:
+            with os.fdopen(sum_handle, "w", encoding="utf-8") as tmp:
+                tmp.write(digest + "\n")
+            os.replace(sum_tmp, self._checksum_path(self._path(key)))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(sum_tmp)
             raise
         return self._path(key)
 
@@ -412,9 +605,11 @@ class TraceStore:
         least-recently-used ``.trace`` files (by ``max(atime, mtime)`` —
         atime tracks use where the filesystem records it, mtime is the
         write-time floor on ``noatime`` mounts) until the total size is at
-        most ``max_bytes``.  Returns ``(files removed, bytes freed)``.
-        Processes currently mapping a removed artifact are unaffected (the
-        page cache holds the inode until the last mapping drops).
+        most ``max_bytes``.  Checksum sidecars ride along with their
+        artifact (they neither count toward the size nor survive it).
+        Returns ``(files removed, bytes freed)``.  Processes currently
+        mapping a removed artifact are unaffected (the page cache holds the
+        inode until the last mapping drops).
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -446,6 +641,8 @@ class TraceStore:
                     continue  # undeletable (permissions?); its bytes remain
                 total -= size  # a concurrent prune freed it; don't over-evict
                 continue
+            with contextlib.suppress(OSError):
+                self._checksum_path(path).unlink()
             total -= size
             removed += 1
             freed += size
@@ -488,13 +685,22 @@ class SweepCell:
 class SweepStats:
     """How a sweep's cells were satisfied (the cache observability hook).
 
-    ``simulated``/``cache_hits`` count cells; ``traces_generated`` /
-    ``traces_loaded`` count how the simulated cells' per-core traces were
-    obtained (generator walk vs :class:`TraceStore` artifact).  A warm
-    trace-store run reports ``traces_generated == 0`` — CI pins this like
-    ``--expect-cached`` pins ``simulated == 0``.  ``traces_mapped`` counts
-    the loaded traces that were served zero-copy (memoryviews over an mmap
-    of the artifact rather than a private heap copy).
+    ``simulated``/``cache_hits``/``resumed`` count cells (``resumed`` ones
+    were replayed from a crashed run's :class:`RunJournal` instead of
+    re-simulating); ``traces_generated`` / ``traces_loaded`` count how the
+    simulated cells' per-core traces were obtained (generator walk vs
+    :class:`TraceStore` artifact).  A warm trace-store run reports
+    ``traces_generated == 0`` — CI pins this like ``--expect-cached`` pins
+    ``simulated == 0``.  ``traces_mapped`` counts the loaded traces that
+    were served zero-copy (memoryviews over an mmap of the artifact rather
+    than a private heap copy).
+
+    The resilience counters make fault handling observable: ``retried``
+    counts cell re-executions (after a failure, a pool break or a timeout),
+    ``timed_out`` counts attempts the per-cell watchdog expired,
+    ``pool_rebuilds`` counts :class:`~concurrent.futures.process.\
+BrokenProcessPool` / stuck-worker recoveries, and ``quarantined`` counts
+    corrupt cache/trace artifacts moved aside during the sweep.
     """
 
     simulated: int = 0
@@ -502,10 +708,15 @@ class SweepStats:
     traces_generated: int = 0
     traces_loaded: int = 0
     traces_mapped: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    quarantined: int = 0
+    resumed: int = 0
+    pool_rebuilds: int = 0
 
     @property
     def cells(self) -> int:
-        return self.simulated + self.cache_hits
+        return self.simulated + self.cache_hits + self.resumed
 
 
 @dataclass
@@ -667,6 +878,31 @@ def summarize_result(
     return summary
 
 
+def _cell_label(cell: SweepCell) -> str:
+    """Human identity of a cell for errors and fault-injection matching."""
+    return (
+        f"{cell.profile.name}/{cell.spec.name}"
+        f"[seed_base={cell.trace_seed_base}, backend={cell.backend}]"
+    )
+
+
+def _cell_failure(
+    cell: SweepCell, error: Optional[BaseException]
+) -> CellExecutionError:
+    """Wrap a cell's terminal failure so the raised error names the cell."""
+    if isinstance(error, CellExecutionError):
+        return error
+    detail = (
+        f"{type(error).__name__}: {error}" if error is not None else "unknown error"
+    )
+    return CellExecutionError(f"sweep cell {_cell_label(cell)} failed: {detail}")
+
+
+#: (summary, traces generated, loaded, mapped, artifacts quarantined) — the
+#: per-cell deltas a scheduler folds into :class:`SweepStats`.
+_CellOutcome = Tuple[Dict[str, object], int, int, int, int]
+
+
 def simulate_cell(
     cell: SweepCell, workers: Optional[int] = None
 ) -> Dict[str, object]:
@@ -675,25 +911,31 @@ def simulate_cell(
     ``workers`` (rarely needed) fans the cell's *replaying cores* out instead
     of its siblings — used when a sweep has more workers than pending cells.
     """
-    summary, _, _ = _simulate_cell_counted(cell, None, workers=workers)
-    return summary
+    return _simulate_cell_counted(cell, None, workers=workers)[0]
 
 
 def _simulate_cell_counted(
     cell: SweepCell,
     trace_store: Optional[TraceStore],
     workers: Optional[int] = None,
-) -> Tuple[Dict[str, object], int, int, int]:
-    """Run one cell; returns (summary, traces generated, loaded, mapped).
+    attempt: int = 0,
+) -> _CellOutcome:
+    """Run one cell; returns (summary, traces generated, loaded, mapped,
+    quarantined).
 
     The trace counters are deltas over this run, so the scheduler can fold
     them into :class:`SweepStats` even when the memoized driver already holds
-    its traces (in which case every delta is zero).
+    its traces (in which case every delta is zero).  ``attempt`` is the
+    scheduler's retry counter for this cell — it parameterizes the
+    ``"cell:simulate"`` fault-injection point so "fail N times, then
+    succeed" plans behave deterministically across pool workers.
     """
+    injection_point("cell:simulate", label=_cell_label(cell), attempt=attempt)
     cmp_model = _cmp_for_cell(cell, trace_store=trace_store)
     generated_before = cmp_model.traces_generated
     loaded_before = cmp_model.traces_loaded
     mapped_before = cmp_model.traces_mapped
+    quarantined_before = trace_store.quarantined if trace_store is not None else 0
     result = cmp_model.run_design(cell.spec, workers=workers, backend=cell.backend)
     summary = summarize_result(result, cell.spec, cell.cores, backend=cell.backend)
     return (
@@ -701,32 +943,258 @@ def _simulate_cell_counted(
         cmp_model.traces_generated - generated_before,
         cmp_model.traces_loaded - loaded_before,
         cmp_model.traces_mapped - mapped_before,
+        (trace_store.quarantined - quarantined_before)
+        if trace_store is not None else 0,
     )
 
 
-def _cell_job(
-    job: Tuple["SweepCell", Optional[str]]
-) -> Tuple[Dict[str, object], int, int, int]:
+def _cell_job(job: Tuple[SweepCell, Optional[str], int]) -> _CellOutcome:
     """Pool-worker entry: rebuilds the trace store from its directory.
 
     Workers receive the artifact *directory*, never trace objects: each
     worker lazily mmaps the artifacts it needs, so all workers share one
     page-cache copy of every trace instead of pickling heap copies around.
+    The job carries the cell's attempt number (for deterministic fault
+    injection), and any worker-side failure is wrapped so the parent's
+    exception names the cell instead of an anonymous worker.
     """
-    cell, trace_dir = job
+    cell, trace_dir, attempt = job
     store = TraceStore(trace_dir) if trace_dir is not None else None
-    return _simulate_cell_counted(cell, store)
+    try:
+        return _simulate_cell_counted(cell, store, attempt=attempt)
+    except CellExecutionError:
+        raise
+    except Exception as error:
+        raise CellExecutionError(
+            f"sweep cell {_cell_label(cell)} failed in a worker: "
+            f"{type(error).__name__}: {error}"
+        ) from error
 
 
 # --------------------------------------------------------------------------- #
 # The scheduler
 # --------------------------------------------------------------------------- #
 
+def _now() -> float:
+    """Scheduler wall clock — timeout bookkeeping only, never in results."""
+    # Deadline arithmetic must not jump with NTP; results never see it.
+    return time.monotonic()  # staticcheck: allow[R002]
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when its workers are stuck or already dead.
+
+    ``shutdown()`` alone joins worker processes, which never returns while
+    a worker hangs; terminating the processes first makes teardown prompt.
+    (``_processes`` is private executor state — degrade to a plain shutdown
+    if a future stdlib renames it.)
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        with contextlib.suppress(Exception):
+            process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _attempt_cell(
+    cell: SweepCell,
+    traces: Optional[TraceStore],
+    stats: SweepStats,
+    policy: RetryPolicy,
+    workers: Optional[int] = None,
+    first_attempt: int = 0,
+) -> _CellOutcome:
+    """Run one cell in-process under the retry policy (the serial path).
+
+    ``first_attempt`` carries retries already charged elsewhere (the pooled
+    scheduler hands half-retried cells here when it degrades), so the total
+    attempt budget is shared, not reset.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(first_attempt, policy.retries + 1):
+        if attempt > first_attempt:
+            stats.retried += 1
+            time.sleep(policy.delay(attempt - 1))
+        try:
+            return _simulate_cell_counted(
+                cell, traces, workers=workers, attempt=attempt
+            )
+        except Exception as error:
+            last_error = error
+    raise _cell_failure(cell, last_error)
+
+
+def _run_pending_pooled(
+    cells: Sequence[SweepCell],
+    pending: Sequence[int],
+    traces: Optional[TraceStore],
+    workers: int,
+    stats: SweepStats,
+    policy: RetryPolicy,
+    context: "BaseContext",
+    complete: Callable[[int, _CellOutcome], None],
+) -> None:
+    """Fan pending cells across a process pool, streaming completions.
+
+    Per-cell futures instead of ``pool.map``: every finished cell flows
+    through ``complete`` (cache + journal) the moment it lands, a failed
+    cell is retried under ``policy`` without disturbing its siblings, a
+    broken pool is rebuilt with only the unfinished cells requeued, and a
+    cell attempt outliving ``policy.cell_timeout`` gets its stuck worker
+    terminated.  After ``policy.max_pool_rebuilds`` recoveries the
+    remaining cells degrade to the in-process serial path — a sweep never
+    fails merely because pooling does.
+    """
+    trace_dir = str(traces.directory) if traces is not None else None
+    width = min(workers, len(pending))
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    queue: Deque[int] = deque(pending)
+    in_flight: Dict[Future[_CellOutcome], int] = {}
+    deadlines: Dict[Future[_CellOutcome], float] = {}
+    rebuilds = 0
+    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+        max_workers=width, mp_context=context
+    )
+
+    def fail_or_requeue(
+        index: int, error: BaseException, timed_out: bool = False
+    ) -> None:
+        """Charge one failed/victim attempt; requeue within budget or raise."""
+        if timed_out:
+            stats.timed_out += 1
+        attempts[index] += 1
+        if attempts[index] > policy.retries:
+            raise _cell_failure(cells[index], error)
+        stats.retried += 1
+        queue.append(index)
+
+    try:
+        while queue or in_flight:
+            broken = False
+            while queue and len(in_flight) < width and pool is not None:
+                index = queue.popleft()
+                if attempts[index] > 0:
+                    time.sleep(policy.delay(attempts[index] - 1))
+                try:
+                    future = pool.submit(
+                        _cell_job, (cells[index], trace_dir, attempts[index])
+                    )
+                except BrokenProcessPool:
+                    queue.appendleft(index)
+                    broken = True
+                    break
+                in_flight[future] = index
+                if policy.cell_timeout is not None:
+                    deadlines[future] = _now() + policy.cell_timeout
+
+            expired: List[Future[_CellOutcome]] = []
+            if in_flight and not broken:
+                timeout = (
+                    max(0.0, min(deadlines.values()) - _now())
+                    if deadlines else None
+                )
+                done, _ = wait(
+                    list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as error:
+                        broken = True
+                        fail_or_requeue(index, error)
+                    except Exception as error:
+                        fail_or_requeue(index, error)
+                    else:
+                        complete(index, outcome)
+                if not done and deadlines:
+                    now = _now()
+                    expired = [
+                        future for future, deadline in deadlines.items()
+                        if deadline <= now
+                    ]
+
+            if broken or expired:
+                # Recovery: harvest results that did land, charge every
+                # other in-flight cell one victim attempt, then rebuild —
+                # or, past the rebuild budget, degrade to the serial path.
+                rebuilds += 1
+                stats.pool_rebuilds += 1
+                expired_set = set(expired)
+                for future, index in list(in_flight.items()):
+                    if future.done() and not future.cancelled():
+                        try:
+                            outcome = future.result()
+                        except Exception as error:
+                            fail_or_requeue(index, error)
+                        else:
+                            complete(index, outcome)
+                        continue
+                    if future in expired_set:
+                        fail_or_requeue(
+                            index,
+                            TimeoutError(
+                                f"cell attempt exceeded the per-cell timeout "
+                                f"of {policy.cell_timeout}s"
+                            ),
+                            timed_out=True,
+                        )
+                    else:
+                        fail_or_requeue(
+                            index, BrokenProcessPool("pool worker died mid-cell")
+                        )
+                in_flight.clear()
+                deadlines.clear()
+                if pool is not None:
+                    _terminate_pool(pool)
+                    pool = None
+                if rebuilds > policy.max_pool_rebuilds:
+                    while queue:
+                        index = queue.popleft()
+                        complete(index, _attempt_cell(
+                            cells[index], traces, stats, policy,
+                            first_attempt=attempts[index],
+                        ))
+                    return
+                pool = ProcessPoolExecutor(max_workers=width, mp_context=context)
+    finally:
+        if pool is not None:
+            _terminate_pool(pool)
+
+
+def _coerce_journal(
+    journal: Union[None, bool, str, Path, RunJournal],
+    keys: Sequence[str],
+) -> Optional[RunJournal]:
+    """Normalize the user-facing ``journal`` knob (the ``cache`` idiom).
+
+    ``None``/``False`` disables journaling, ``True`` uses the default
+    directory (:func:`default_journal_dir`), a path uses that directory,
+    and an existing :class:`RunJournal` passes through — provided it was
+    built for exactly this sweep's cell-key set.
+    """
+    if journal is None or journal is False:
+        return None
+    if isinstance(journal, RunJournal):
+        if journal.keys != frozenset(keys):
+            raise ValueError(
+                "journal was built for a different cell-key set than this sweep"
+            )
+        return journal
+    if journal is True:
+        return RunJournal(default_journal_dir(), keys)
+    return RunJournal(journal, keys)
+
+
 def run_cells(
     cells: Sequence[SweepCell],
     workers: Optional[int] = None,
     cache: Union[None, bool, str, Path, ResultCache] = None,
     trace_store: Union[None, bool, str, Path, TraceStore] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal: Union[None, bool, str, Path, RunJournal] = None,
+    resume: bool = False,
 ) -> Tuple[List[Dict[str, object]], SweepStats]:
     """Satisfy every cell, from the cache when possible, else by simulating.
 
@@ -742,62 +1210,101 @@ def run_cells(
 
     Both levels are bit-identical to the serial path (cells are pure
     functions of their parameters; the core-level path is PR 1's
-    bit-identical fan-out), so the choice only affects wall-clock.  Returns
-    the summaries in cell order plus the :class:`SweepStats` of this run.
+    bit-identical fan-out), so the choice only affects wall-clock.
+
+    Execution is resilient (``docs/resilience.md``): every path runs under
+    ``policy`` (default :class:`RetryPolicy`) — bounded retry with
+    deterministic backoff, optional per-cell timeouts, pool rebuilds on
+    ``BrokenProcessPool`` and graceful degradation to serial execution —
+    and completed cells stream into the cache and the ``journal`` as they
+    land.  ``journal`` (the ``cache``-style knob) appends each fresh
+    simulation to a :class:`RunJournal` keyed by this sweep's cell-key set;
+    with ``resume=True`` the journal of a previous (killed) run pre-fills
+    its completed cells, counted in ``SweepStats.resumed`` and re-``put``
+    into the cache, so only the missing cells simulate.  A cell that fails
+    past its retry budget raises :class:`CellExecutionError` naming the
+    cell; cells already completed keep their cache/journal entries, so the
+    rerun resumes.  Returns the summaries in cell order plus the
+    :class:`SweepStats` of this run.
     """
     if workers is not None and workers <= 0:
         raise ValueError("workers must be positive when given")
+    if policy is None:
+        policy = RetryPolicy()
     store = ResultCache.coerce(cache)
     traces = TraceStore.coerce(trace_store)
+    keys = [cell.key() for cell in cells]
+    run_journal = _coerce_journal(journal, keys)
+    journaled: Dict[str, Dict[str, object]] = {}
+    if resume and run_journal is not None:
+        journaled = run_journal.load()
     stats = SweepStats()
     summaries: List[Optional[Dict[str, object]]] = [None] * len(cells)
 
+    cache_quarantined_before = store.quarantined if store is not None else 0
     pending: List[int] = []
-    for index, cell in enumerate(cells):
-        cached = store.get(cell.key()) if store is not None else None
+    for index in range(len(cells)):
+        cached = store.get(keys[index]) if store is not None else None
         if cached is not None:
             summaries[index] = cached
             stats.cache_hits += 1
-        else:
-            pending.append(index)
+            continue
+        resumed = journaled.get(keys[index])
+        if resumed is not None:
+            # A journaled summary from the killed run: as trustworthy as a
+            # cache entry (it was recorded after the cell completed).  Put
+            # it back into the cache so the next run hits the fast path.
+            summaries[index] = resumed
+            stats.resumed += 1
+            if store is not None:
+                store.put(keys[index], resumed)
+            continue
+        pending.append(index)
+    if store is not None:
+        stats.quarantined += store.quarantined - cache_quarantined_before
+
+    def complete(index: int, outcome: _CellOutcome) -> None:
+        """Stream one fresh simulation into stats, cache and journal."""
+        summary, generated, loaded, mapped, quarantined = outcome
+        summaries[index] = summary
+        stats.simulated += 1
+        stats.traces_generated += generated
+        stats.traces_loaded += loaded
+        stats.traces_mapped += mapped
+        stats.quarantined += quarantined
+        if store is not None:
+            store.put(keys[index], summary)
+        if run_journal is not None:
+            run_journal.record(keys[index], summary)
 
     if pending:
-        parallel = workers is not None and workers > 1
-        context = _fork_context() if parallel else None
-        core_fanout = (
-            min(workers, min(cells[i].cores for i in pending)) if parallel else 1
-        )
-        if parallel and core_fanout > len(pending):
-            # e.g. a 2-design, 16-core session with workers=8: sequential
-            # cells, 8-way core fan-out each, beats a 2-wide cell pool.
-            fresh = [
-                _simulate_cell_counted(cells[i], traces, workers=workers)
-                for i in pending
-            ]
-        elif parallel and len(pending) > 1 and context is not None:
-            trace_dir = str(traces.directory) if traces is not None else None
-            jobs = [(cells[i], trace_dir) for i in pending]
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), mp_context=context
-            ) as pool:
-                fresh = list(pool.map(_cell_job, jobs))
+        if workers is not None and workers > 1:
+            context = _fork_context()
+            core_fanout = min(workers, min(cells[i].cores for i in pending))
+            if core_fanout > len(pending):
+                # e.g. a 2-design, 16-core session with workers=8: sequential
+                # cells, 8-way core fan-out each, beats a 2-wide cell pool.
+                for index in pending:
+                    complete(index, _attempt_cell(
+                        cells[index], traces, stats, policy, workers=workers
+                    ))
+            elif len(pending) > 1 and context is not None:
+                _run_pending_pooled(
+                    cells, pending, traces, workers, stats, policy, context,
+                    complete,
+                )
+            else:
+                for index in pending:
+                    complete(index, _attempt_cell(
+                        cells[index], traces, stats, policy, workers=workers
+                    ))
         else:
-            core_workers = workers if parallel else None
-            fresh = [
-                _simulate_cell_counted(cells[i], traces, workers=core_workers)
-                for i in pending
-            ]
-        for index, (summary, generated, loaded, mapped) in zip(pending, fresh, strict=True):
-            summaries[index] = summary
-            stats.simulated += 1
-            stats.traces_generated += generated
-            stats.traces_loaded += loaded
-            stats.traces_mapped += mapped
-            if store is not None:
-                store.put(cells[index].key(), summary)
+            for index in pending:
+                complete(index, _attempt_cell(cells[index], traces, stats, policy))
 
-    # Every index was satisfied above (cache hit or fresh simulation); the
-    # comprehension narrows List[Optional[...]] to the declared return type.
+    # Every index was satisfied above (cache hit, journal resume or fresh
+    # simulation); the comprehension narrows List[Optional[...]] to the
+    # declared return type.
     completed = [summary for summary in summaries if summary is not None]
     if len(completed) != len(cells):  # pragma: no cover - defensive
         raise RuntimeError("sweep left a cell unsatisfied")
@@ -817,6 +1324,9 @@ def run_sweep(
     trace_store: Union[None, bool, str, Path, TraceStore] = None,
     scenarios: Optional[Iterable[Union[str, Scenario, BoundScenario]]] = None,
     backend: str = DEFAULT_BACKEND,
+    policy: Optional[RetryPolicy] = None,
+    journal: Union[None, bool, str, Path, RunJournal] = None,
+    resume: bool = False,
 ) -> SweepOutcome:
     """Run the full (workload x design) grid through the cell scheduler.
 
@@ -834,6 +1344,11 @@ def run_sweep(
     simulation backend every cell runs on (a
     :data:`repro.backends.BACKEND_REGISTRY` entry); it joins each cell's
     cache key, so the same grid on two backends never shares entries.
+
+    ``policy``, ``journal`` and ``resume`` are the resilience knobs,
+    forwarded to :func:`run_cells`: bounded deterministic retry / per-cell
+    timeouts / pool-rebuild recovery, append-only journaling of completed
+    cells, and crash resume from a previous run's journal.
     """
     # Resolve the backend up front: an unknown name must fail before any
     # cell simulates (or, with caching disabled, before a deep stack of
@@ -909,7 +1424,13 @@ def run_sweep(
         for spec in specs
     )
     summaries, stats = run_cells(
-        cells, workers=workers, cache=cache, trace_store=trace_store
+        cells,
+        workers=workers,
+        cache=cache,
+        trace_store=trace_store,
+        policy=policy,
+        journal=journal,
+        resume=resume,
     )
     mapping = {
         (cell.profile.name, cell.spec.name): summary

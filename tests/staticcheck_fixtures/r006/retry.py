@@ -1,0 +1,23 @@
+"""Seeded R006 violations: unbounded retry and nondeterministic jitter.
+
+The module is named ``retry`` so it falls inside R006's scope without
+touching R002's (``workloads``/``sweep``); every construct below must be
+flagged by R006 and only R006.
+"""
+
+import random
+import time
+
+
+def fetch_forever(connect):
+    """Unbounded retry loop: no attempt bound, just spin-and-sleep."""
+    while True:
+        try:
+            return connect()
+        except OSError:
+            time.sleep(1.0)
+
+
+def backoff_with_jitter(attempt):
+    """Nondeterministic backoff: global-RNG jitter inside the sleep."""
+    time.sleep(0.1 * attempt + random.random())

@@ -451,6 +451,80 @@ class TestSweepScenarios:
         assert list(payload["reports"]) == ["consolidated_oltp_dss"]
 
 
+class TestSweepResilience:
+    ARGS = [
+        "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+        "confluence", "--scale", "0.08", "--cores", "2",
+        "--instructions-per-core", "5000", "--no-cache", "--no-trace-store",
+    ]
+
+    def test_resume_simulates_only_the_missing_cells(self, tmp_path, capsys):
+        from repro.sweep import clear_workload_memo
+
+        journal = ["--journal-dir", str(tmp_path / "journal")]
+        clear_workload_memo()
+        assert main(self.ARGS + journal + ["--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["stats"]["simulated"] == 2
+        # Hard-kill emulation: drop the last journaled cell, then resume.
+        journal_file = next((tmp_path / "journal").glob("*.jsonl"))
+        lines = journal_file.read_text().splitlines()
+        journal_file.write_text("\n".join(lines[:-1]) + "\n")
+        clear_workload_memo()
+        assert main(self.ARGS + journal + ["--resume", "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["stats"]["resumed"] == 1
+        assert resumed["stats"]["simulated"] == 1
+        assert resumed["reports"] == cold["reports"]
+        # A fully journaled sweep resumes without any simulation at all —
+        # --expect-cached holds even under --no-cache.
+        clear_workload_memo()
+        code = main(self.ARGS + journal + ["--resume", "--expect-cached"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 resumed from journal" in out
+
+    def test_stats_output_carries_the_resilience_counters(self, capsys):
+        from repro.sweep import clear_workload_memo
+
+        clear_workload_memo()
+        assert main(self.ARGS + ["--no-journal", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)["stats"]
+        for counter in (
+            "retried", "timed_out", "quarantined", "resumed", "pool_rebuilds"
+        ):
+            assert stats[counter] == 0
+        clear_workload_memo()
+        assert main(self.ARGS + ["--no-journal"]) == 0
+        assert "resilience:" in capsys.readouterr().out
+
+    def test_resume_without_a_journal_is_a_usage_error(self, capsys):
+        code = main(self.ARGS + ["--no-journal", "--resume"])
+        assert code == 2
+        assert "--resume requires the journal" in capsys.readouterr().err
+
+    def test_bad_retry_policy_is_a_usage_error(self, capsys):
+        code = main(self.ARGS + ["--no-journal", "--retries", "-3"])
+        assert code == 2
+        assert "sweep:" in capsys.readouterr().err
+
+    def test_failed_sweep_mentions_resume(self, tmp_path, capsys):
+        from repro.faultinject import FaultPlan, active
+        from repro.sweep import clear_workload_memo
+
+        plan = FaultPlan()
+        plan.fail("cell:simulate", match="oltp_db2/confluence", attempts=10)
+        clear_workload_memo()
+        with active(plan):
+            code = main(
+                self.ARGS
+                + ["--journal-dir", str(tmp_path / "journal"), "--retries", "0"]
+            )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "oltp_db2/confluence" in err and "--resume" in err
+
+
 class TestLintCommand:
     FIXTURES = Path(__file__).resolve().parent / "staticcheck_fixtures"
 

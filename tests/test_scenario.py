@@ -309,6 +309,7 @@ class TestZeroCopyCoreFanout:
             cmp_model._llc_config(),
             None,
             None,
+            "test/core1",
         )
         assert _replay_core(job) == serial.core_results[1]
 

@@ -68,6 +68,7 @@ class TestFixturesTrigger:
             ("r003", "R003"),
             ("r004", "R004"),
             ("r005_pkg", "R005"),
+            ("r006", "R006"),
         ],
     )
     def test_each_seeded_fixture_fires_its_rule(self, target, rule):
@@ -320,6 +321,93 @@ class TestRuleBehavior:
         findings = run_lint([pkg])
         assert [f.rule for f in findings] == ["R005"]
 
+    def test_r006_bounded_retry_with_deterministic_backoff_passes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def run_with_retry(job, retries, backoff):
+                last = None
+                for attempt in range(retries + 1):
+                    if attempt:
+                        time.sleep(min(backoff * 2.0 ** (attempt - 1), 2.0))
+                    try:
+                        return job()
+                    except OSError as error:
+                        last = error
+                raise last
+            """,
+            name="retry.py",
+        )
+        assert findings == []
+
+    def test_r006_while_true_with_sleep_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def spin(job):
+                while True:
+                    try:
+                        return job()
+                    except OSError:
+                        time.sleep(0.5)
+            """,
+            name="retry.py",
+        )
+        assert [f.rule for f in findings] == ["R006"]
+        assert "unbounded" in findings[0].message
+
+    def test_r006_unseeded_jitter_in_sleep_is_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+            import time
+
+            def backoff(attempt):
+                time.sleep(0.1 * attempt + random.uniform(0.0, 0.1))
+            """,
+            name="retry.py",
+        )
+        assert [f.rule for f in findings] == ["R006"]
+        assert "random.uniform" in findings[0].message
+
+    def test_r006_seeded_rng_jitter_is_allowed(self, tmp_path):
+        # random.Random(seed) is the sanctioned pattern (R002's contract):
+        # a seeded schedule is still a pure function of its inputs.
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+            import time
+
+            def backoff(attempt, seed):
+                rng = random.Random(seed)
+                time.sleep(0.1 * attempt + rng.uniform(0.0, 0.1))
+            """,
+            name="retry.py",
+        )
+        assert findings == []
+
+    def test_r006_only_fires_in_scope(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def poll(ready):
+                while True:
+                    if ready():
+                        return
+                    time.sleep(0.5)
+            """,
+            name="monitor.py",
+        )
+        assert findings == []
+
 
 class TestSuppression:
     VIOLATION = """
@@ -372,7 +460,9 @@ class TestSuppression:
 
 class TestRegistry:
     def test_rule_catalog(self):
-        assert RULE_REGISTRY.names() == ["R001", "R002", "R003", "R004", "R005"]
+        assert RULE_REGISTRY.names() == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        ]
         for rule_id in RULE_REGISTRY.names():
             assert RULE_REGISTRY.describe(rule_id)
 

@@ -12,6 +12,7 @@ from repro.core.designs import resolve_design
 from repro.core.frontend import FrontendConfig
 from repro.sweep import (
     CACHE_SCHEMA_VERSION,
+    CorruptArtifactWarning,
     ResultCache,
     SweepCell,
     TraceStore,
@@ -110,29 +111,53 @@ class TestResultCache:
         assert cache.get("a" * 64) == {"ipc": 1.25, "cores": 2}
         assert cache.hits == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_quarantined_with_a_warning(self, tmp_path):
         cache = ResultCache(tmp_path)
-        (tmp_path / ("b" * 64 + ".json")).write_text("{not json")
+        path = tmp_path / ("b" * 64 + ".json")
+        path.write_text("{not json")
+        with pytest.warns(CorruptArtifactWarning, match="quarantined"):
+            assert cache.get("b" * 64) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / (path.name + ".corrupt")).exists()
+        # Quarantined means gone: the next probe is a silent ordinary miss.
         assert cache.get("b" * 64) is None
+        assert cache.quarantined == 1
 
-    def test_stale_schema_is_a_miss(self, tmp_path):
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
-        (tmp_path / ("c" * 64 + ".json")).write_text(json.dumps(
+        path = cache.put("f" * 64, {"ipc": 1.25, "cores": 2})
+        payload = json.loads(path.read_text())
+        payload["summary"]["ipc"] = 9.99  # bit rot / tampering
+        path.write_text(json.dumps(payload))
+        with pytest.warns(CorruptArtifactWarning, match="checksum"):
+            assert cache.get("f" * 64) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+
+    def test_stale_schema_is_a_silent_miss_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / ("c" * 64 + ".json")
+        path.write_text(json.dumps(
             {"schema": CACHE_SCHEMA_VERSION + 1, "summary": {"ipc": 1.0}}
         ))
         assert cache.get("c" * 64) is None
+        assert cache.quarantined == 0
+        assert path.exists()  # another build's entry is left alone
 
-    def test_pre_batch_entry_is_a_miss(self, tmp_path):
+    def test_pre_checksum_entry_is_a_miss(self, tmp_path):
         # Schema 2 cells predate the backend field; schema 3 cells predate
-        # the batch backend and the CMP lane-grouped dispatch.  Schema 4
-        # must treat both as misses, never serve them.
-        assert CACHE_SCHEMA_VERSION == 4
+        # the batch backend and the CMP lane-grouped dispatch; schema 4
+        # cells predate payload checksums.  Schema 5 must treat all of them
+        # as misses, never serve them — and never quarantine them.
+        assert CACHE_SCHEMA_VERSION == 5
         cache = ResultCache(tmp_path)
-        for fill, stale in (("d", 2), ("e", 3)):
+        for fill, stale in (("d", 2), ("e", 3), ("f", 4)):
             (tmp_path / (fill * 64 + ".json")).write_text(json.dumps(
                 {"schema": stale, "summary": {"ipc": 1.0, "cores": 2}}
             ))
             assert cache.get(fill * 64) is None
+        assert cache.quarantined == 0
 
     def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
@@ -193,14 +218,22 @@ class TestTraceStore:
         assert len(loaded) == len(generated)
         assert all(a == b for a, b in zip(loaded.records, generated.records, strict=True))
 
-    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+    def test_corrupt_artifact_is_quarantined_with_a_warning(self, tmp_path):
         store = TraceStore(tmp_path)
         profile = get_profile("oltp_db2").scaled(0.08)
         key = trace_key(profile, 5_000, 42)
         tmp_path.mkdir(exist_ok=True)
-        (tmp_path / f"{key}.trace").write_bytes(b"garbage")
-        assert store.load(profile, 5_000, 42) is None
+        path = tmp_path / f"{key}.trace"
+        path.write_bytes(b"garbage")
+        with pytest.warns(CorruptArtifactWarning, match="quarantined"):
+            assert store.load(profile, 5_000, 42) is None
         assert store.misses == 1
+        assert store.quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / (path.name + ".corrupt")).exists()
+        # Quarantined means gone: the next probe is a silent ordinary miss.
+        assert store.load(profile, 5_000, 42) is None
+        assert store.quarantined == 1
 
     def test_loads_are_mmap_backed_by_default(self, tmp_path):
         from repro.workloads import generate_trace
