@@ -24,6 +24,12 @@ The ``backends`` subcommand lists the registered simulation backends
 (:mod:`repro.backends`); every ``sweep``/``bench`` invocation picks one with
 ``--backend`` (default ``scalar``, the zero-allocation columnar loop).
 
+The ``report`` subcommand (:mod:`repro.report`) collects recorded evidence —
+bench trajectories, saved sweep reports (``sweep --save-report``), run
+journals — into a versioned bundle and renders it as a self-contained HTML
+page or CI-postable markdown; ``--check --tolerance X`` is the per-backend
+perf-regression gate CI fails on (see ``docs/report.md``).
+
 Examples::
 
     # the paper's full grid, eight profiles x the whole design catalog
@@ -57,6 +63,15 @@ Examples::
     python -m repro backends
     python -m repro sweep --backend reference --profiles oltp_db2 \\
         --designs baseline --scale 0.1 --cores 2
+
+    # render the committed trajectory + a saved sweep as one HTML page,
+    # then gate the newest point against the committed baseline
+    python -m repro sweep --profiles oltp_db2 --designs baseline confluence \\
+        --scale 0.05 --cores 2 --save-report /tmp/sweep.report.json
+    python -m repro report --bench BENCH_kernel.json \\
+        --sweep /tmp/sweep.report.json --out report.html
+    python -m repro report --bench /tmp/bench.json \\
+        --baseline BENCH_kernel.json --check --tolerance 0.5
 
 The result cache lives under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro``); ``--cache-dir`` overrides it and ``--no-cache``
@@ -171,6 +186,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "completed are not re-simulated")
     sweep.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the reports as JSON instead of tables")
+    sweep.add_argument("--save-report", default=None, metavar="PATH",
+                       help="also persist the reports + stats as a versioned "
+                            "JSON file that 'repro report --sweep PATH' "
+                            "collects")
     sweep.set_defaults(handler=_run_sweep_command)
 
     trace = commands.add_parser(
@@ -265,6 +284,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the listing as JSON instead of text",
     )
     backends.set_defaults(handler=_run_backends_command)
+
+    report = commands.add_parser(
+        "report",
+        help="collect recorded evidence into an HTML/markdown report and "
+             "gate on perf regressions",
+        description=(
+            "Collect bench trajectories, saved sweep reports and run "
+            "journals into a versioned report bundle, render it (HTML by "
+            "default, self-contained: inline CSS + SVG, no scripts), and "
+            "optionally fail on per-backend throughput regressions "
+            "(--check --tolerance X) — the CI regression gate."
+        ),
+    )
+    report.add_argument("--bench", nargs="+", metavar="PATH", default=None,
+                        help="bench trajectory files to collect (any recorded "
+                             "schema version; default: BENCH_kernel.json when "
+                             "present)")
+    report.add_argument("--sweep", nargs="+", metavar="PATH", default=[],
+                        dest="sweep_paths",
+                        help="saved sweep report files to collect (written by "
+                             "'sweep --save-report' or 'sweep --json' output)")
+    report.add_argument("--journal-dir", default=None, metavar="PATH",
+                        help="summarize the run journals in this directory "
+                             "into the resilience counters")
+    report.add_argument("--baseline", default=None, metavar="PATH",
+                        help="trajectory file whose latest point is the "
+                             "regression baseline (default: the previous "
+                             "collected point, when the trajectory has one)")
+    report.add_argument("--title", default="Confluence reproduction report",
+                        help="report title (default: 'Confluence "
+                             "reproduction report')")
+    report.add_argument("--format", default="html", metavar="NAME",
+                        dest="fmt",
+                        help="renderer to use (catalog: 'html', 'md', plus "
+                             "anything registered on RENDERER_REGISTRY; "
+                             "default html)")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the rendered report to PATH instead of "
+                             "stdout")
+    report.add_argument("--save-bundle", action="store_true",
+                        help="also persist the collected bundle, "
+                             "content-addressed, under --report-dir")
+    report.add_argument("--report-dir", default=None, metavar="PATH",
+                        help="bundle directory for --save-bundle (default: "
+                             "$REPRO_REPORT_DIR or <cache dir>/reports)")
+    report.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when any backend's regions/sec "
+                             "in the newest point falls below --tolerance x "
+                             "the baseline's")
+    report.add_argument("--tolerance", type=float, default=0.85,
+                        help="minimum newest/baseline regions-per-sec ratio "
+                             "per backend for --check (default 0.85)")
+    report.set_defaults(handler=_run_report_command)
 
     lint = commands.add_parser(
         "lint",
@@ -375,22 +447,22 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         return 1
     reports = reports_from_sweep(outcome, baseline=args.baseline)
 
+    if args.save_report is not None:
+        from repro.api import save_reports
+
+        try:
+            save_reports(args.save_report, reports, stats=outcome.stats.to_dict())
+        except OSError as error:
+            print(f"--save-report: cannot write {args.save_report}: {error}",
+                  file=sys.stderr)
+            return 1
+        if not args.as_json:  # keep --json stdout pure JSON
+            print(f"wrote {args.save_report}")
+
     if args.as_json:
         payload = {
             "reports": {name: report.to_dict() for name, report in reports.items()},
-            "stats": {
-                "cells": outcome.stats.cells,
-                "simulated": outcome.stats.simulated,
-                "cache_hits": outcome.stats.cache_hits,
-                "traces_generated": outcome.stats.traces_generated,
-                "traces_loaded": outcome.stats.traces_loaded,
-                "traces_mapped": outcome.stats.traces_mapped,
-                "retried": outcome.stats.retried,
-                "timed_out": outcome.stats.timed_out,
-                "quarantined": outcome.stats.quarantined,
-                "resumed": outcome.stats.resumed,
-                "pool_rebuilds": outcome.stats.pool_rebuilds,
-            },
+            "stats": outcome.stats.to_dict(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -710,6 +782,97 @@ def _run_backends_command(args: argparse.Namespace) -> int:
         print(f"    trace form: {row['trace form']}")
         if row["summary"]:
             print(f"    {row['summary']}")
+    return 0
+
+
+def _run_report_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.registry import UnknownComponentError
+    from repro.report import (
+        check_bundle,
+        collect_bundle,
+        default_report_dir,
+        format_check,
+        render_bundle,
+    )
+
+    if args.check and not args.tolerance > 0:
+        print(f"report: --tolerance must be positive, got {args.tolerance:g}",
+              file=sys.stderr)
+        return 2
+
+    bench_paths = args.bench
+    if bench_paths is None:
+        # The committed trajectory is the evidence nearly every invocation
+        # wants; only default to it, never require it.
+        bench_paths = ["BENCH_kernel.json"] if Path("BENCH_kernel.json").is_file() else []
+    if not bench_paths and not args.sweep_paths:
+        print("report: nothing to collect — pass --bench and/or --sweep "
+              "(no BENCH_kernel.json in the current directory)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        bundle = collect_bundle(
+            bench_paths=bench_paths,
+            sweep_paths=args.sweep_paths,
+            journal_dir=args.journal_dir,
+            baseline_path=args.baseline,
+            title=args.title,
+        )
+    except (OSError, ValueError) as error:
+        print(f"report: cannot collect: {error}", file=sys.stderr)
+        return 1
+
+    if args.save_bundle:
+        directory = args.report_dir if args.report_dir is not None else default_report_dir()
+        try:
+            saved = bundle.save(directory)
+        except OSError as error:
+            print(f"--save-bundle: cannot write under {directory}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"saved bundle {saved}", file=sys.stderr)
+
+    if args.check:
+        try:
+            rows = check_bundle(bundle, args.tolerance)
+        except ValueError as error:
+            # A gate that cannot run (no points, no baseline, no shared
+            # backends) fails loudly; it never passes vacuously.
+            print(f"--check: {error}", file=sys.stderr)
+            return 1
+        print(format_check(rows, args.tolerance, bundle.baseline_source))
+        if not all(row["ok"] for row in rows):
+            print(
+                f"--check: regions/sec regressed beyond tolerance "
+                f"{args.tolerance:g}"
+                + (f" of {bundle.baseline_source}" if bundle.baseline_source else ""),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"--check: within tolerance {args.tolerance:g}")
+        if args.out is None:
+            return 0  # gate-only invocation: no rendered report to emit
+
+    try:
+        rendered = render_bundle(
+            bundle, args.fmt, tolerance=args.tolerance if args.check else None
+        )
+    except UnknownComponentError as error:
+        print(f"report: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.out is not None:
+        try:
+            Path(args.out).write_text(rendered, encoding="utf-8")
+        except OSError as error:
+            print(f"report: cannot write {args.out}: {error}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(rendered)
     return 0
 
 

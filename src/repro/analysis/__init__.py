@@ -2,7 +2,9 @@
 
 Each public function corresponds to one experiment of the evaluation section
 and returns plain Python data (dicts/lists) that the benchmarks print and the
-tests assert on.  See DESIGN.md for the experiment index.
+tests assert on; ``benchmarks/`` maps them to the paper's figure numbers.
+The table formatters here are shared with the report renderers
+(:mod:`repro.report`), so CLI tables and rendered reports agree.
 """
 
 from repro.analysis.experiments import (
@@ -17,7 +19,7 @@ from repro.analysis.experiments import (
     scenario_comparison_rows,
     scenario_grid,
 )
-from repro.analysis.reporting import format_table, format_series
+from repro.analysis.reporting import format_series, format_table, markdown_table
 
 __all__ = [
     "btb_capacity_sweep",
@@ -32,4 +34,5 @@ __all__ = [
     "scenario_grid",
     "format_table",
     "format_series",
+    "markdown_table",
 ]

@@ -1,8 +1,10 @@
-"""Plain-text table formatting for benchmark output.
+"""Plain-text and markdown table formatting for benchmark/report output.
 
 The benchmark harness prints the same rows/series the paper's figures show;
 these helpers keep that output consistent and readable without pulling in a
-plotting dependency.
+plotting dependency.  The report renderers (:mod:`repro.report.render`)
+reuse them too: :func:`format_table` for terminal output,
+:func:`markdown_table` for the CI-postable markdown report.
 """
 
 from __future__ import annotations
@@ -35,6 +37,32 @@ def format_table(
         lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths, strict=True)))
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of row dicts as a GitHub-flavored markdown table.
+
+    Same row/column contract as :func:`format_table` — the report's
+    markdown renderer emits these so CI can post sweep summaries verbatim.
+    Cell text is pipe-escaped; missing keys render empty.
+    """
+
+    def cell(row: Mapping[str, object], column: str) -> str:
+        value = row.get(column, "")
+        text = float_format.format(value) if isinstance(value, float) else str(value)
+        return text.replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(str(column) for column in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row, column) for column in columns) + " |")
     return "\n".join(lines)
 
 

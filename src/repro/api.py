@@ -27,9 +27,11 @@ simulator objects alive.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.backends.base import DEFAULT_BACKEND, get_backend
 from repro.core.cmp import ChipMultiprocessor
@@ -51,7 +53,24 @@ from repro.workloads.cfg import SyntheticProgram
 from repro.workloads.profiles import WorkloadProfile, get_profile
 from repro.workloads.scenario import BoundScenario, Scenario, resolve_scenario
 
-__all__ = ["Session", "RunReport", "run_grid", "reports_from_sweep"]
+__all__ = [
+    "SWEEP_REPORT_SCHEMA_VERSION",
+    "RunReport",
+    "Session",
+    "load_reports",
+    "reports_from_sweep",
+    "run_grid",
+    "save_reports",
+]
+
+#: Schema of the saved sweep-report files (:func:`save_reports`); bumped
+#: whenever their layout changes meaning so ``repro report`` never misreads
+#: another build's summaries.
+SWEEP_REPORT_SCHEMA_VERSION = 1
+
+#: The ``kind`` tag distinguishing saved sweep reports from the other JSON
+#: artifacts the repo writes (bench trajectories, report bundles).
+SWEEP_REPORT_KIND = "repro-sweep-reports"
 
 
 @dataclass
@@ -423,3 +442,75 @@ def run_grid(
     """
     outcome = run_sweep(profiles, designs, **sweep_kwargs)
     return reports_from_sweep(outcome, baseline=baseline)
+
+
+def save_reports(
+    path: Union[str, Path],
+    reports: Mapping[str, RunReport],
+    stats: Optional[Mapping[str, int]] = None,
+) -> Path:
+    """Persist a sweep's :class:`RunReport` set (plus counters) to one file.
+
+    This is the summary-persistence half of the reporting pipeline: a sweep
+    that prints tables and exits used to leave nothing behind for
+    ``python -m repro report`` to collect.  The file carries a schema and a
+    ``kind`` tag, every report as its :meth:`RunReport.to_dict` data, and
+    the sweep's :class:`~repro.sweep.SweepStats` counters; the write is
+    atomic (temp file + rename) like every store in the repo.  The CLI
+    exposes it as ``python -m repro sweep --save-report PATH``.
+    """
+    path = Path(path)
+    payload = {
+        "schema": SWEEP_REPORT_SCHEMA_VERSION,
+        "kind": SWEEP_REPORT_KIND,
+        "reports": {name: report.to_dict() for name, report in reports.items()},
+        "stats": dict(stats) if stats is not None else {},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            json.dump(payload, tmp, indent=2, sort_keys=True)
+            tmp.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_reports(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, RunReport], Dict[str, int]]:
+    """Read a :func:`save_reports` file back: ``(reports, stats)``.
+
+    Also accepts the bare ``{"reports": ..., "stats": ...}`` shape that
+    ``python -m repro sweep --json`` prints, so a redirected stdout is
+    collectable too.  Raises :class:`ValueError` on any other layout or a
+    schema this build does not read.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or not isinstance(payload.get("reports"), dict):
+        raise ValueError(f"{path} is not a saved sweep-report file")
+    if "schema" in payload and payload["schema"] != SWEEP_REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} uses sweep-report schema {payload['schema']!r} "
+            f"(this build reads schema {SWEEP_REPORT_SCHEMA_VERSION})"
+        )
+    reports = {
+        str(name): RunReport.from_dict(data)
+        for name, data in payload["reports"].items()
+    }
+    stats_raw = payload.get("stats", {})
+    stats = (
+        {str(key): int(value) for key, value in stats_raw.items()}
+        if isinstance(stats_raw, dict)
+        else {}
+    )
+    return reports, stats

@@ -51,6 +51,14 @@ class SimBackend(abc.ABC):
     Backends are stateless: all mutable simulation state (caches, predictors,
     the in-flight prefetch table, the cycle counter) lives on the simulator,
     so one backend instance can serve any number of simulators concurrently.
+
+    Bit-identity invariant: every registered backend must produce *exactly*
+    the results of the ``reference`` oracle — same cycle counts, same miss
+    counters, same per-core metrics — for any trace and design.  Not "close
+    enough": the parity suite (``tests/test_frontend_parity.py``) pins each
+    backend against the oracle, and the sweep cache stores summaries keyed
+    by backend name + source fingerprint, so a divergent backend would
+    poison cached results silently.
     """
 
     #: Registry name; doubles as the identity reported in results and keys.

@@ -40,7 +40,7 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.backends.base import DEFAULT_BACKEND, backend_names, get_backend
 from repro.core.designs import design_from_spec, resolve_design
@@ -59,9 +59,12 @@ __all__ = [
     "load_trajectory",
     "load_trajectory_point",
     "migrate_trajectory_point",
+    "normalized_trajectory",
+    "point_backend_rps",
     "run_kernel_benchmark",
     "schema_signature",
     "schemas_match",
+    "trajectory_backend_series",
 ]
 
 #: Bumped whenever the emitted JSON layout changes meaning; CI compares the
@@ -540,6 +543,68 @@ def load_trajectory_point(path: Union[str, Path]) -> Dict[str, object]:
             f"(schema {schema!r}, supported 2..{BENCH_SCHEMA_VERSION})"
         )
     return latest
+
+
+def normalized_trajectory(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Every recorded point of a trajectory file, migrated, oldest first.
+
+    The bundle-export hook behind ``python -m repro report``: points from
+    any recorded schema come back in the schema-2+ field vocabulary
+    (:func:`migrate_trajectory_point`), so renderers and the regression gate
+    never meet the retired ``packed_speedup``/``record_path`` names.  Unlike
+    :func:`load_trajectory`, an explicitly *empty* trajectory
+    (``{"points": []}``) is returned as an empty list — a brand-new file is
+    a legitimate "nothing recorded yet" state for a report, not corruption.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and payload.get("points") == []:
+        return []
+    return [migrate_trajectory_point(point) for point in _trajectory_points(payload, path)]
+
+
+def point_backend_rps(point: Mapping[str, object]) -> Dict[str, float]:
+    """``{backend name: regions/sec}`` from one normalized point.
+
+    Reads the per-backend table every schema-2+ point carries; rows without
+    a throughput value (or a malformed table) are simply absent, so the
+    regression gate and the trend chart degrade to "fewer comparable
+    backends" rather than crashing on history recorded by older builds.
+    """
+    rows = point.get("backends")
+    series: Dict[str, float] = {}
+    if not isinstance(rows, list):
+        return series
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        backend = row.get("backend")
+        rps = row.get("regions_per_sec")
+        if isinstance(backend, str) and isinstance(rps, (int, float)):
+            series[backend] = float(rps)
+    return series
+
+
+def trajectory_backend_series(
+    points: Sequence[Mapping[str, object]],
+) -> Dict[str, List[Optional[float]]]:
+    """Per-backend regions/sec series across a normalized trajectory.
+
+    Returns ``{backend: [rps or None per point]}`` with one slot per input
+    point — ``None`` where that point did not measure the backend (e.g. the
+    ``batch`` backend before PR 8, or a no-numpy host).  This is the series
+    the report's trend chart draws, one line per backend.
+    """
+    per_point = [point_backend_rps(point) for point in points]
+    backends: List[str] = []
+    for rps in per_point:
+        for name in rps:
+            if name not in backends:
+                backends.append(name)
+    return {
+        name: [rps.get(name) for rps in per_point]
+        for name in sorted(backends)
+    }
 
 
 def append_trajectory_point(

@@ -1,0 +1,179 @@
+"""Inline-SVG chart primitives for the HTML report (stdlib only).
+
+The report must be one self-contained file — no plotting library, no
+JavaScript, no external assets — so its charts are hand-built SVG strings:
+a multi-series line chart for the perf trajectory and a horizontal bar
+chart for per-design/per-backend throughput.  Output is deterministic for
+a given input (fixed geometry, stable formatting, no randomness), which is
+what lets the golden-file snapshot tests pin the renderers byte for byte.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["PALETTE", "bar_chart", "line_chart"]
+
+#: Series colors, assigned in order; wraps around past six series.
+PALETTE = ("#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#9c6b4e")
+
+
+def _fmt(value: float) -> str:
+    """Compact, stable number formatting for tick and value labels."""
+    if abs(value) >= 1_000_000:
+        return f"{value / 1_000_000:.3g}M"
+    if abs(value) >= 1_000:
+        return f"{value / 1_000:.3g}k"
+    return f"{value:.3g}"
+
+
+def _coord(value: float) -> str:
+    """Fixed-precision SVG coordinate (deterministic across platforms)."""
+    return f"{value:.1f}"
+
+
+def _y_ticks(top: float) -> List[float]:
+    """Four evenly spaced ticks from 0 to a rounded-up axis top."""
+    if top <= 0:
+        top = 1.0
+    return [top * fraction / 4 for fraction in range(5)]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Optional[float]]],
+    title: str,
+    x_labels: Optional[Sequence[str]] = None,
+    y_label: str = "",
+    width: int = 640,
+    height: int = 260,
+) -> str:
+    """Multi-series line chart; ``None`` values break the line (gaps).
+
+    ``series`` maps a legend name to one value per x position; every series
+    must be the same length.  Designed for the trajectory trend chart: one
+    line per backend, gaps where a point did not measure that backend.
+    """
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    points = lengths.pop() if lengths else 0
+    margin_left, margin_right, margin_top, margin_bottom = 62.0, 12.0, 30.0, 34.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+    peak = max(
+        (value for values in series.values() for value in values if value is not None),
+        default=0.0,
+    )
+    top = peak * 1.08 if peak > 0 else 1.0
+
+    def x_at(index: int) -> float:
+        if points <= 1:
+            return margin_left + plot_w / 2
+        return margin_left + plot_w * index / (points - 1)
+
+    def y_at(value: float) -> float:
+        return margin_top + plot_h * (1 - value / top)
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{escape(title, quote=True)}">',
+        f'<text x="{_coord(margin_left)}" y="18" class="chart-title">'
+        f"{escape(title)}</text>",
+    ]
+    for tick in _y_ticks(top):
+        y = y_at(tick)
+        parts.append(
+            f'<line x1="{_coord(margin_left)}" y1="{_coord(y)}" '
+            f'x2="{_coord(width - margin_right)}" y2="{_coord(y)}" class="grid"/>'
+        )
+        parts.append(
+            f'<text x="{_coord(margin_left - 6)}" y="{_coord(y + 3)}" '
+            f'class="tick" text-anchor="end">{_fmt(tick)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="12" y="{_coord(margin_top - 10)}" class="tick">'
+            f"{escape(y_label)}</text>"
+        )
+    labels = list(x_labels) if x_labels is not None else [str(i) for i in range(points)]
+    for index, label in enumerate(labels[:points]):
+        parts.append(
+            f'<text x="{_coord(x_at(index))}" y="{_coord(height - 12)}" '
+            f'class="tick" text-anchor="middle">{escape(label)}</text>'
+        )
+    for order, (name, values) in enumerate(series.items()):
+        color = PALETTE[order % len(PALETTE)]
+        segment: List[Tuple[float, float]] = []
+        segments: List[List[Tuple[float, float]]] = []
+        for index, value in enumerate(values):
+            if value is None:
+                if segment:
+                    segments.append(segment)
+                    segment = []
+                continue
+            segment.append((x_at(index), y_at(value)))
+        if segment:
+            segments.append(segment)
+        for seg in segments:
+            if len(seg) > 1:
+                coords = " ".join(f"{_coord(x)},{_coord(y)}" for x, y in seg)
+                parts.append(
+                    f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                    'stroke-width="2"/>'
+                )
+            for x, y in seg:
+                parts.append(
+                    f'<circle cx="{_coord(x)}" cy="{_coord(y)}" r="3" '
+                    f'fill="{color}"/>'
+                )
+        legend_x = margin_left + 110.0 * order
+        parts.append(
+            f'<rect x="{_coord(legend_x)}" y="{_coord(height - 34)}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_coord(legend_x + 14)}" y="{_coord(height - 25)}" '
+            f'class="tick">{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str,
+    unit: str = "",
+    width: int = 640,
+) -> str:
+    """Horizontal bar chart: one labeled bar per ``(name, value)`` item."""
+    row_h, margin_left, margin_top = 26.0, 150.0, 30.0
+    height = int(margin_top + row_h * len(items) + 10)
+    peak = max((value for _, value in items), default=0.0)
+    top = peak if peak > 0 else 1.0
+    plot_w = width - margin_left - 90.0
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{escape(title, quote=True)}">',
+        f'<text x="{_coord(margin_left)}" y="18" class="chart-title">'
+        f"{escape(title)}</text>",
+    ]
+    for order, (name, value) in enumerate(items):
+        y = margin_top + row_h * order
+        bar_w = plot_w * value / top
+        color = PALETTE[order % len(PALETTE)]
+        parts.append(
+            f'<text x="{_coord(margin_left - 8)}" y="{_coord(y + 14)}" '
+            f'class="tick" text-anchor="end">{escape(name)}</text>'
+        )
+        parts.append(
+            f'<rect x="{_coord(margin_left)}" y="{_coord(y)}" '
+            f'width="{_coord(bar_w)}" height="18" fill="{color}"/>'
+        )
+        label = _fmt(value) + (f" {unit}" if unit else "")
+        parts.append(
+            f'<text x="{_coord(margin_left + bar_w + 6)}" y="{_coord(y + 14)}" '
+            f'class="tick">{escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -663,6 +663,13 @@ class SweepCell:
     For scenario cells ``cores`` is the assignment's length,
     ``instructions_per_core`` its widest core's budget (the per-core truth
     lives in the assignment itself, which is what :func:`cell_key` hashes).
+
+    Cell-key closure invariant (staticcheck R003): every field that can
+    change a cell's outcome is folded into :func:`cell_key` — a field this
+    dataclass grows but the key omits would let two *different*
+    computations share one cache entry.  Adding a field therefore means
+    extending :func:`cell_key` in the same change, and R003 fails the
+    build until it is.
     """
 
     profile: Union[WorkloadProfile, BoundScenario]
@@ -717,6 +724,21 @@ BrokenProcessPool` / stuck-worker recoveries, and ``quarantined`` counts
     @property
     def cells(self) -> int:
         return self.simulated + self.cache_hits + self.resumed
+
+    def to_dict(self) -> Dict[str, int]:
+        """Every counter (plus the derived ``cells`` total) as plain data.
+
+        The single serialization used by the CLI's ``--json`` output, the
+        saved sweep-report files (:func:`repro.api.save_reports`) and the
+        report bundle's resilience section, so the counter vocabulary cannot
+        drift between surfaces.
+        """
+        payload = {
+            field_.name: getattr(self, field_.name)
+            for field_ in dataclasses.fields(self)
+        }
+        payload["cells"] = self.cells
+        return payload
 
 
 @dataclass

@@ -580,3 +580,159 @@ class TestLintCommand:
         missing = tmp_path / "nope.json"
         assert main(["lint", "--baseline", str(missing)]) == 2
         assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    """``python -m repro report``: collection, rendering, the CI gate."""
+
+    def _point(self, scale=1.0):
+        return {
+            "schema": 2,
+            "bench": "kernel_hotloop",
+            "config": {"profile": "oltp_db2", "scale": 0.1,
+                       "instructions": 20000, "seed": 3, "repeats": 2,
+                       "backend": "scalar"},
+            "designs": [
+                {"design": "baseline", "backend": "scalar",
+                 "regions_per_sec": 50_000.0 * scale, "ipc": 0.70},
+            ],
+            "backends": [
+                {"backend": "reference", "design": "baseline",
+                 "regions_per_sec": 20_000.0 * scale, "ipc": 0.70},
+                {"backend": "scalar", "design": "baseline",
+                 "regions_per_sec": 50_000.0 * scale, "ipc": 0.70},
+            ],
+            "speedup_over_reference": 2.5,
+        }
+
+    def _trajectory(self, path, *scales):
+        path.write_text(json.dumps({
+            "bench": "kernel_hotloop",
+            "points": [self._point(scale) for scale in scales],
+        }))
+        return str(path)
+
+    def test_renders_self_contained_html(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0, 1.05)
+        out = tmp_path / "report.html"
+        assert main(["report", "--bench", bench, "--out", str(out)]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "<script" not in html
+
+    def test_markdown_to_stdout(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0)
+        assert main(["report", "--bench", bench, "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Confluence reproduction report")
+        assert "baseline_regions_per_sec" not in out  # single point: no deltas
+        assert "| point |" in out
+
+    def test_check_passes_within_tolerance(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0, 0.9)
+        code = main(["report", "--bench", bench, "--check",
+                     "--tolerance", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "--check: within tolerance 0.5" in out
+
+    def test_check_fails_on_seeded_regression(self, tmp_path, capsys):
+        # The acceptance pin: a regressed newest point (30% of baseline)
+        # against --tolerance 0.5 must exit non-zero, per backend.
+        bench = self._trajectory(tmp_path / "bench.json", 0.3)
+        baseline = self._trajectory(tmp_path / "baseline.json", 1.0)
+        code = main(["report", "--bench", bench, "--baseline", baseline,
+                     "--check", "--tolerance", "0.5"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSED" in captured.out
+        assert "regressed beyond tolerance 0.5" in captured.err
+
+    def test_check_refuses_single_point_without_baseline(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0)
+        code = main(["report", "--bench", bench, "--check",
+                     "--tolerance", "0.5"])
+        assert code == 1
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_nonpositive_tolerance_is_a_usage_error(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0)
+        code = main(["report", "--bench", bench, "--check", "--tolerance", "0"])
+        assert code == 2
+        assert "--tolerance must be positive" in capsys.readouterr().err
+
+    def test_defaults_to_committed_trajectory_in_cwd(self, tmp_path,
+                                                     monkeypatch, capsys):
+        self._trajectory(tmp_path / "BENCH_kernel.json", 1.0, 1.02)
+        monkeypatch.chdir(tmp_path)
+        assert main(["report", "--format", "md"]) == 0
+        assert "BENCH_kernel.json" in capsys.readouterr().out
+
+    def test_nothing_to_collect_is_a_usage_error(self, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 2
+        assert "nothing to collect" in capsys.readouterr().err
+
+    def test_missing_bench_file_errors(self, tmp_path, capsys):
+        code = main(["report", "--bench", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "cannot collect" in capsys.readouterr().err
+
+    def test_unknown_format_is_a_usage_error(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0)
+        assert main(["report", "--bench", bench, "--format", "pdf"]) == 2
+        assert "pdf" in capsys.readouterr().err
+
+    def test_save_bundle_is_content_addressed(self, tmp_path, capsys):
+        bench = self._trajectory(tmp_path / "bench.json", 1.0)
+        store = tmp_path / "bundles"
+        for _ in range(2):
+            assert main(["report", "--bench", bench, "--format", "md",
+                         "--save-bundle", "--report-dir", str(store)]) == 0
+        capsys.readouterr()
+        assert len(list(store.glob("*.bundle.json"))) == 1
+
+    def test_collects_sweep_save_report_output(self, tmp_path, capsys):
+        # End-to-end through the CLI: a real (tiny) sweep saved with
+        # --save-report renders into the report's sweep section.
+        from repro.sweep import clear_workload_memo
+
+        saved = tmp_path / "sweep.report.json"
+        clear_workload_memo()
+        assert main([
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "1", "--instructions-per-core",
+            "5000", "--no-cache", "--no-trace-store", "--no-journal",
+            "--save-report", str(saved),
+        ]) == 0
+        assert saved.exists()
+        capsys.readouterr()
+
+        bench = self._trajectory(tmp_path / "bench.json", 1.0)
+        assert main(["report", "--bench", bench, "--sweep", str(saved),
+                     "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "oltp_db2" in out
+        assert "| design |" in out
+
+    def test_save_report_json_stdout_stays_pure(self, tmp_path, capsys):
+        from repro.sweep import clear_workload_memo
+
+        saved = tmp_path / "sweep.report.json"
+        clear_workload_memo()
+        assert main([
+            "sweep", "--profiles", "oltp_db2", "--designs", "baseline",
+            "--scale", "0.08", "--cores", "1", "--instructions-per-core",
+            "5000", "--no-cache", "--no-trace-store", "--no-journal",
+            "--save-report", str(saved), "--json",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout)  # no "wrote ..." line mixed in
+        assert payload["stats"]["cells"] == 1
+        from repro.api import load_reports
+
+        reports, stats = load_reports(saved)
+        assert reports["oltp_db2"].to_dict() == payload["reports"]["oltp_db2"]
+        assert stats == payload["stats"]
